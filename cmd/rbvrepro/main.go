@@ -1,0 +1,97 @@
+// Command rbvrepro regenerates the tables and figures of "Request Behavior
+// Variations" (Shen, ASPLOS 2010) on the simulated substrate.
+//
+// Usage:
+//
+//	rbvrepro [-seed N] [-scale F] [-run LIST]
+//
+// where LIST is a comma-separated subset of
+// table1,table2,fig1,...,fig13 (default: everything, in paper order).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// experiment is one runnable unit: every table and figure of the paper.
+type experiment struct {
+	name string
+	run  func(experiments.Config) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](fn func(experiments.Config) (T, error)) func(experiments.Config) (fmt.Stringer, error) {
+	return func(cfg experiments.Config) (fmt.Stringer, error) {
+		r, err := fn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+var all = []experiment{
+	{"fig1", wrap(experiments.Figure1)},
+	{"fig2", wrap(experiments.Figure2)},
+	{"table1", wrap(experiments.Table1)},
+	{"fig3", wrap(experiments.Figure3)},
+	{"fig4", wrap(experiments.Figure4)},
+	{"fig5", wrap(experiments.Figure5)},
+	{"table2", wrap(experiments.Table2)},
+	{"fig6", wrap(experiments.Figure6)},
+	{"fig7", wrap(experiments.Figure7)},
+	{"fig8", wrap(experiments.Figure8)},
+	{"fig9", wrap(experiments.Figure9)},
+	{"fig10", wrap(experiments.Figure10)},
+	{"fig11", wrap(experiments.Figure11)},
+	{"fig12", wrap(experiments.Figure12)},
+	{"fig13", wrap(experiments.Figure13)},
+	{"ablations", wrap(experiments.Ablations)},
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "master random seed (runs are reproducible per seed)")
+	scale := flag.Float64("scale", 1.0, "request-count scale factor (1.0 = full evaluation)")
+	runList := flag.String("run", "", "comma-separated experiments to run (default all): fig1..fig13,table1,table2,ablations")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+
+	selected := all
+	if *runList != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		selected = nil
+		for _, e := range all {
+			if want[e.name] {
+				selected = append(selected, e)
+				delete(want, e.name)
+			}
+		}
+		if len(want) > 0 {
+			var unknown []string
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			fmt.Fprintf(os.Stderr, "rbvrepro: unknown experiments: %s\n", strings.Join(unknown, ","))
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		result, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbvrepro: %s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n\n%s\n", e.name, time.Since(start).Seconds(), result)
+	}
+}

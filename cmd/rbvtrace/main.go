@@ -1,0 +1,91 @@
+// Command rbvtrace runs one application with the paper's online tracking
+// and dumps per-request metric timelines, for inspection of intra-request
+// behavior variations (the raw material of the paper's Figure 2).
+//
+// Usage:
+//
+//	rbvtrace [-app NAME] [-requests N] [-cores N] [-seed N] [-limit N] [-buckets N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "tpcc", "application: webserver, tpcc, tpch, rubis, webwork")
+	requests := flag.Int("requests", 20, "requests to run")
+	cores := flag.Int("cores", 0, "machine cores (0 = the paper's 4)")
+	seed := flag.Int64("seed", 1, "random seed")
+	limit := flag.Int("limit", 3, "number of request timelines to print")
+	buckets := flag.Int("buckets", 20, "resampling buckets per request")
+	flag.Parse()
+
+	app, err := workload.ByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbvtrace:", err)
+		os.Exit(2)
+	}
+	res, err := core.Run(core.Options{
+		App:      app,
+		Cores:    *cores,
+		Requests: *requests,
+		Sampling: core.DefaultSampling(app),
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbvtrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d requests traced, %d samples (%.2f us sampling overhead)\n\n",
+		app.Name(), res.Store.Len(), res.Samples.Total(), res.Samples.OverheadNs()/1000)
+	for i, tr := range res.Store.Traces {
+		if i >= *limit {
+			break
+		}
+		fmt.Printf("%s\n", tr)
+		bucket := float64(tr.Instructions()) / float64(*buckets)
+		if bucket <= 0 {
+			continue
+		}
+		cpi := tr.Resampled(metrics.CPI, bucket)
+		refs := tr.Resampled(metrics.L2RefsPerIns, bucket)
+		miss := tr.Resampled(metrics.L2MissRatio, bucket)
+		fmt.Printf("  %-10s", "progress")
+		for b := range cpi {
+			fmt.Printf(" %6.0f%%", float64(b+1)/float64(len(cpi))*100)
+		}
+		fmt.Println()
+		row := func(name string, vals []float64) {
+			fmt.Printf("  %-10s", name)
+			for _, v := range vals {
+				fmt.Printf(" %7.3f", v)
+			}
+			fmt.Println()
+		}
+		row("CPI", cpi)
+		row("L2ref/ins", refs)
+		row("missratio", miss)
+		if n := len(tr.Syscalls); n > 0 {
+			max := n
+			if max > 12 {
+				max = 12
+			}
+			fmt.Printf("  syscalls (%d):", n)
+			for _, s := range tr.Syscalls[:max] {
+				fmt.Printf(" %s", s.Name)
+			}
+			if n > max {
+				fmt.Print(" ...")
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,91 @@
+// Classification: cluster TPC-C requests by their behavior variation
+// patterns with k-medoids under several differencing measures (Section 4.2)
+// and compare classification quality — reproducing the heart of the paper's
+// Figure 7 on one application.
+//
+// The demonstration shows the paper's two key findings: variation patterns
+// beat whole-request averages for predicting request CPU time, and dynamic
+// time warping needs the asynchrony penalty to avoid under-estimating
+// differences through free time shifting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := workload.NewTPCC()
+	res, err := core.Run(core.Options{
+		App:      app,
+		Requests: 300,
+		Sampling: core.DefaultSampling(app),
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces := res.Store.Traces
+
+	// The modeler derives the paper's penalty setting (the 99-percentile
+	// peak metric difference) from the request population.
+	m := core.NewModeler(app.Name(), traces)
+	fmt.Printf("clustering %d TPCC requests, k=10, penalty p=%.3f\n\n", len(traces), m.AsyncPenalty)
+
+	// Pre-resample every request's CPI variation pattern once.
+	patterns := make([][]float64, len(traces))
+	averages := make([][]float64, len(traces))
+	for i, tr := range traces {
+		patterns[i] = tr.Resampled(metrics.CPI, m.BucketIns)
+		averages[i] = []float64{tr.MetricValue(metrics.CPI)}
+	}
+	// The property being predicted: request CPU time.
+	cpuTimes := make([]float64, len(traces))
+	for i, tr := range traces {
+		cpuTimes[i] = float64(tr.CPUTime())
+	}
+
+	measures := []struct {
+		name string
+		dist cluster.DistFunc
+	}{
+		{"average CPI only", func(i, j int) float64 {
+			return (distance.AverageDiff{}).Distance(averages[i], averages[j])
+		}},
+		{"L1 of CPI variations", func(i, j int) float64 {
+			return m.L1().Distance(patterns[i], patterns[j])
+		}},
+		{"plain DTW", func(i, j int) float64 {
+			return m.DTW().Distance(patterns[i], patterns[j])
+		}},
+		{"DTW + asynchrony penalty", func(i, j int) float64 {
+			return m.DTWPenalized().Distance(patterns[i], patterns[j])
+		}},
+	}
+
+	fmt.Printf("%-26s %s\n", "measure", "divergence from centroid (CPU time, lower is better)")
+	for _, ms := range measures {
+		r := cluster.KMedoids(len(traces), ms.dist, cluster.Config{K: 10, Seed: 1})
+		div := cluster.Divergence(r, cpuTimes)
+		fmt.Printf("%-26s %.1f%%  (%d clusters, %d iterations)\n",
+			ms.name, div*100, len(r.Medoids), r.Iterations)
+	}
+
+	// Show what one cluster looks like under the best measure.
+	best := cluster.KMedoids(len(traces), measures[3].dist, cluster.Config{K: 10, Seed: 1})
+	fmt.Println("\ncluster composition under DTW + asynchrony penalty:")
+	for c := range best.Medoids {
+		members := best.Members(c)
+		types := map[string]int{}
+		for _, i := range members {
+			types[traces[i].Type]++
+		}
+		fmt.Printf("  cluster %d (centroid %s): %v\n", c, traces[best.Medoids[c]].Type, types)
+	}
+}

@@ -1,0 +1,84 @@
+// Distributed: the paper's Section 7 vision — track request behavior
+// variations across a distributed server architecture, exposing local and
+// inter-machine variations, and use them to guide component placement.
+//
+// Runs the three-tier RUBiS application over a three-node cluster (web,
+// EJB, database on separate machines), prints the per-machine view of the
+// stitched distributed traces, then evaluates alternative tier placements
+// and recommends one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/distributed"
+	"repro/internal/metrics"
+	"repro/internal/sampling"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	base := distributed.Config{
+		Nodes:     3,
+		Sampling:  sampling.Config{Mode: sampling.CtxSwitchOnly, Compensate: true},
+		Placement: []int{0, 1, 2}, // web / EJB / DB on separate machines
+		Network:   distributed.NetworkConfig{HopLatency: 300 * sim.Microsecond},
+		Seed:      5,
+	}
+	cluster, err := distributed.NewCluster(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces := distributed.NewDriver(cluster, workload.NewRUBiS(), 6, 120, 5).Run()
+
+	var lat, net, cpu []float64
+	nodeCPU := map[string]float64{}
+	for _, tr := range traces {
+		lat = append(lat, float64(tr.Latency()))
+		net = append(net, float64(tr.NetworkTime()))
+		cpu = append(cpu, float64(tr.CPUTime()))
+		for node, c := range tr.PerNodeCPU() {
+			nodeCPU[node] += float64(c)
+		}
+	}
+	fmt.Printf("RUBiS across 3 machines, %d requests:\n", len(traces))
+	fmt.Printf("  mean latency %.2f ms (CPU %.2f ms + network %.2f ms + queueing)\n",
+		stats.Mean(lat)/1e6, stats.Mean(cpu)/1e6, stats.Mean(net)/1e6)
+	for _, n := range cluster.Nodes() {
+		fmt.Printf("  %s total CPU %.1f ms\n", n.Name, nodeCPU[n.Name]/1e6)
+	}
+
+	// Inter-machine variation: per-tier CPI from each node's local traces.
+	fmt.Println("\nper-machine request-segment CPI (inter-machine variation view):")
+	for _, n := range cluster.Nodes() {
+		vals := n.Tracker.Store().MetricValues(metrics.CPI)
+		if len(vals) == 0 {
+			continue
+		}
+		fmt.Printf("  %s: %d segments, CPI mean %.2f p90 %.2f\n",
+			n.Name, len(vals), stats.Mean(vals), stats.Percentile(vals, 90))
+	}
+
+	// Component placement guidance: evaluate candidate placements.
+	fmt.Println("\nevaluating tier placements (web, EJB, DB -> node):")
+	results, err := distributed.EvaluatePlacements(workload.NewRUBiS(), base, [][]int{
+		{0, 1, 2}, // fully spread
+		{0, 1, 1}, // EJB with DB
+		{0, 0, 1}, // web with EJB
+		{0, 0, 0}, // co-located
+	}, 6, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf("%s %s\n", marker, r)
+	}
+	fmt.Println("\n(-> is the advisor's recommendation for this network/load.)")
+}

@@ -1,0 +1,91 @@
+// Projection: the paper's future-work direction (Section 7) — use the
+// characterized request workload to project request resource consumption
+// onto new hardware platforms. Captures TPCC traces on the default
+// (Xeon 5160-like) platform, then projects per-request CPI and CPU time
+// onto hypothetical machines: a faster clock, faster memory, and a bigger
+// shared cache. Also demonstrates the transparent stage identification of
+// Section 6, annotating one request's stages before projection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/projection"
+	"repro/internal/stages"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := workload.NewTPCC()
+	// Solo runs give contention-free traces: the regime where per-period
+	// cost-model inversion is exact.
+	res, err := core.Run(core.Options{
+		App: app, Cores: 1, Concurrency: 1, Requests: 120,
+		Sampling: core.DefaultSampling(app), Seed: 17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	source := projection.FromMachine(machine.DefaultConfig())
+	srcCPI := stats.Mean(res.Store.MetricValues(metrics.CPI))
+	fmt.Printf("captured %d TPCC requests on the source platform (mean CPI %.2f)\n\n",
+		res.Store.Len(), srcCPI)
+
+	targets := []struct {
+		name string
+		mod  func(*projection.Platform)
+	}{
+		{"same platform (identity)", func(*projection.Platform) {}},
+		{"4.5 GHz clock", func(p *projection.Platform) { p.CyclesPerNs = 4.5 }},
+		{"faster memory (150-cycle penalty)", func(p *projection.Platform) { p.Cache.MissPenalty = 150 }},
+		{"8 MB shared L2", func(p *projection.Platform) { p.Cache.CapacityBytes *= 2 }},
+		{"small 1 MB L2", func(p *projection.Platform) { p.Cache.CapacityBytes /= 4 }},
+	}
+	fmt.Printf("%-36s %10s %12s\n", "target platform", "mean CPI", "mean speedup")
+	for _, tgt := range targets {
+		platform := source
+		tgt.mod(&platform)
+		proj := projection.New(source, platform)
+		if err := proj.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		var cpi, speed float64
+		results := proj.ProjectAll(res.Store.Traces)
+		for _, r := range results {
+			cpi += r.CPI
+			speed += r.SpeedUp
+		}
+		n := float64(len(results))
+		fmt.Printf("%-36s %10.3f %11.2fx\n", tgt.name, cpi/n, speed/n)
+	}
+
+	// Stage identification: segment the longest request and annotate each
+	// stage — the transparent alternative to SEDA's programmer-marked
+	// stages the paper describes.
+	var longest = res.Store.Traces[0]
+	for _, tr := range res.Store.Traces {
+		if tr.Instructions() > longest.Instructions() {
+			longest = tr
+		}
+	}
+	fmt.Printf("\ntransparently identified stages of %s/%s:\n", longest.App, longest.Type)
+	ann := stages.AnnotateAll(longest, metrics.CPI, stages.Config{
+		BucketIns: float64(longest.Instructions()) / 40,
+		MaxStages: 5,
+		Tolerance: 0.06,
+	})
+	for i, st := range ann {
+		fmt.Printf("  stage %d: [%5.1f%%, %5.1f%%)  CPI %.2f  L2refs/ins %.4f  missratio %.3f\n",
+			i,
+			st.StartIns/float64(longest.Instructions())*100,
+			st.EndIns/float64(longest.Instructions())*100,
+			st.Values[metrics.CPI],
+			st.Values[metrics.L2RefsPerIns],
+			st.Values[metrics.L2MissRatio])
+	}
+}

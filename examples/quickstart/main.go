@@ -1,0 +1,75 @@
+// Quickstart: run a server workload on the simulated 4-core machine with
+// the paper's online request tracking, and print what the tracking sees —
+// per-request hardware metrics, inter- vs intra-request variation, and
+// sampling overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := workload.NewTPCC()
+
+	// Run 200 TPC-C transactions with the paper's Section 3.1 setup:
+	// request context switch sampling plus periodic interrupt sampling at
+	// the per-application granularity (100 µs for TPCC), with "do no harm"
+	// observer-effect compensation.
+	res, err := core.Run(core.Options{
+		App:      app,
+		Requests: 200,
+		Sampling: core.DefaultSampling(app),
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %d requests in %v simulated time\n", res.Store.Len(), res.WallTime)
+	fmt.Printf("context switches: %d, system calls: %d\n", res.ContextSwitches, res.Syscalls)
+	fmt.Printf("counter samples: %d (estimated overhead %.1f us)\n\n",
+		res.Samples.Total(), res.Samples.OverheadNs()/1000)
+
+	// Whole-request metrics: the inter-request view.
+	cpis := res.Store.MetricValues(metrics.CPI)
+	fmt.Printf("request CPI: mean %.2f, p50 %.2f, p90 %.2f\n",
+		stats.Mean(cpis), stats.Median(cpis), stats.Percentile(cpis, 90))
+
+	// Per-type clusters (the structure behind Figure 1's TPCC multi-modal
+	// distribution).
+	for typ, traces := range res.Store.ByType() {
+		var vals []float64
+		for _, tr := range traces {
+			vals = append(vals, tr.MetricValue(metrics.CPI))
+		}
+		fmt.Printf("  %-14s %3d requests, CPI %.2f +/- %.2f\n",
+			typ, len(traces), stats.Mean(vals), stats.StdDev(vals))
+	}
+
+	// Intra-request variation: the paper's central observation is that a
+	// single request's behavior fluctuates over its execution.
+	var covs []float64
+	for _, tr := range res.Store.Traces {
+		s := tr.InsSeries(metrics.CPI)
+		if s.Len() >= 3 {
+			covs = append(covs, s.CoV())
+		}
+	}
+	fmt.Printf("\nintra-request CPI coefficient of variation: mean %.2f across %d requests\n",
+		stats.Mean(covs), len(covs))
+
+	// One request's timeline, resampled into ten progress buckets.
+	tr := res.Store.Traces[0]
+	bucket := float64(tr.Instructions()) / 10
+	fmt.Printf("\ntimeline of %s/%s (CPI per 10%% of progress):\n  ", tr.App, tr.Type)
+	for _, v := range tr.Resampled(metrics.CPI, bucket) {
+		fmt.Printf("%.2f ", v)
+	}
+	fmt.Println()
+}

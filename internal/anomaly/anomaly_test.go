@@ -1,0 +1,160 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// mkTrace builds a trace whose CPI and refs/ins follow the given
+// per-period profiles (100k instructions per period).
+func mkTrace(id uint64, cpis, refs []float64) *trace.Request {
+	tr := &trace.Request{ID: id, App: "x", Type: "t"}
+	for i := range cpis {
+		const ins = 100_000
+		r := uint64(refs[i] * ins)
+		tr.AddPeriod(1000, metrics.Counters{
+			Cycles:       uint64(cpis[i] * ins),
+			Instructions: ins,
+			L2Refs:       r,
+			L2Misses:     r / 4,
+		})
+	}
+	return tr
+}
+
+func det() *Detector {
+	return &Detector{BucketIns: 100_000, Measure: distance.DTW{AsyncPenalty: 0.5}}
+}
+
+func TestGroupAnomaliesRanksOutlierFirst(t *testing.T) {
+	normal := []float64{2, 2, 2, 2, 2}
+	refs := []float64{0.02, 0.02, 0.02, 0.02, 0.02}
+	group := []*trace.Request{
+		mkTrace(1, normal, refs),
+		mkTrace(2, []float64{2.05, 2, 2.02, 1.98, 2}, refs),
+		mkTrace(3, []float64{2, 2.03, 1.97, 2.01, 2.04}, refs),
+		mkTrace(4, []float64{4, 4.5, 5, 4, 4.2}, refs), // the anomaly
+	}
+	centroid, ranked := det().GroupAnomalies(group, metrics.CPI)
+	if centroid == nil || len(ranked) != 3 {
+		t.Fatalf("centroid=%v ranked=%d", centroid, len(ranked))
+	}
+	if ranked[0].Trace.ID != 4 {
+		t.Fatalf("anomaly should rank first, got ID %d", ranked[0].Trace.ID)
+	}
+	if centroid.ID == 4 {
+		t.Fatal("anomaly chosen as centroid")
+	}
+	if ranked[0].Distance <= ranked[1].Distance {
+		t.Fatal("ranking not in decreasing distance")
+	}
+}
+
+func TestGroupAnomaliesEmpty(t *testing.T) {
+	c, r := det().GroupAnomalies(nil, metrics.CPI)
+	if c != nil || r != nil {
+		t.Fatal("empty group should return nils")
+	}
+}
+
+func TestFindPairsSelectsSimilarRefsDifferentCPI(t *testing.T) {
+	refsA := []float64{0.03, 0.03, 0.04, 0.03}
+	traces := []*trace.Request{
+		mkTrace(1, []float64{2, 2, 2, 2}, refsA),                                 // reference-like
+		mkTrace(2, []float64{4, 4.5, 4, 4.2}, refsA),                             // anomaly: same refs, high CPI
+		mkTrace(3, []float64{2, 2, 2, 2}, []float64{0.001, 0.001, 0.001, 0.001}), // different refs
+	}
+	pairs := det().FindPairs(traces, 1)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	p := pairs[0]
+	ids := map[uint64]bool{p.Anomaly.ID: true, p.Reference.ID: true}
+	if !ids[1] || !ids[2] {
+		t.Fatalf("pair should be traces 1 and 2, got %d/%d", p.Anomaly.ID, p.Reference.ID)
+	}
+	if p.Anomaly.ID != 2 {
+		t.Fatalf("anomaly should be the high-CPI member, got %d", p.Anomaly.ID)
+	}
+	if p.CPIDistance <= p.RefsDistance {
+		t.Fatal("selected pair should have CPI distance above refs distance")
+	}
+}
+
+func TestFindPairsRespectsMaxAndUniqueness(t *testing.T) {
+	var traces []*trace.Request
+	for i := uint64(0); i < 6; i++ {
+		cpi := 2.0 + float64(i)*0.5
+		traces = append(traces, mkTrace(i, []float64{cpi, cpi, cpi}, []float64{0.02, 0.02, 0.02}))
+	}
+	pairs := det().FindPairs(traces, 2)
+	if len(pairs) > 2 {
+		t.Fatalf("maxPairs exceeded: %d", len(pairs))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range pairs {
+		if seen[p.Anomaly.ID] || seen[p.Reference.ID] {
+			t.Fatal("trace reused across pairs")
+		}
+		seen[p.Anomaly.ID] = true
+		seen[p.Reference.ID] = true
+	}
+}
+
+func TestAnalyzeCorrelation(t *testing.T) {
+	// The anomaly's CPI excess tracks its miss excess bucket by bucket:
+	// correlation should be strongly positive.
+	ref := &trace.Request{ID: 1, App: "x", Type: "t"}
+	anom := &trace.Request{ID: 2, App: "x", Type: "t"}
+	for i := 0; i < 8; i++ {
+		const ins = 100_000
+		refRefs := uint64(0.03 * ins)
+		ref.AddPeriod(1000, metrics.Counters{
+			Cycles: 2 * ins, Instructions: ins, L2Refs: refRefs, L2Misses: refRefs / 5,
+		})
+		// Anomaly: buckets alternate between clean and contended; when
+		// contended, misses double and CPI rises.
+		missFactor := uint64(1)
+		cyc := uint64(2 * ins)
+		if i%2 == 1 {
+			missFactor = 3
+			cyc = 4 * ins
+		}
+		anom.AddPeriod(1000, metrics.Counters{
+			Cycles: cyc, Instructions: ins, L2Refs: refRefs, L2Misses: refRefs / 5 * missFactor,
+		})
+	}
+	d := det()
+	a := d.Analyze(Pair{Anomaly: anom, Reference: ref})
+	if a.CPIExcess <= 0 {
+		t.Fatalf("CPIExcess = %v, want positive", a.CPIExcess)
+	}
+	if a.MissCorrelation < 0.9 {
+		t.Fatalf("MissCorrelation = %v, want near 1", a.MissCorrelation)
+	}
+	if math.Abs(a.InstructionExcess-1) > 1e-9 {
+		t.Fatalf("InstructionExcess = %v, want 1", a.InstructionExcess)
+	}
+	if math.Abs(a.RefsExcess-1) > 1e-9 {
+		t.Fatalf("RefsExcess = %v, want 1", a.RefsExcess)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if got := pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	if got := pearson([]float64{1, 2, 3}, []float64{3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if got := pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("constant series correlation = %v", got)
+	}
+	if got := pearson([]float64{1}, []float64{1}); got != 0 {
+		t.Fatalf("single point correlation = %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package cluster implements the k-medoids classification of Section 4.2:
+// k-means-style iteration where each cluster is represented by its centroid
+// request (the member minimizing the summed distance to all other members),
+// since the mean of a set of request variation patterns is not well defined.
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// DistFunc returns the dissimilarity between items i and j of the
+// population being clustered.
+type DistFunc func(i, j int) float64
+
+// Result is a k-medoids clustering outcome.
+type Result struct {
+	// Medoids holds the item index of each cluster's centroid request.
+	Medoids []int
+	// Assign maps each item to its cluster (index into Medoids).
+	Assign []int
+	// Iterations is the number of refinement rounds performed.
+	Iterations int
+}
+
+// Members returns the item indices assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Config tunes the algorithm.
+type Config struct {
+	// K is the number of clusters (the paper uses 10).
+	K int
+	// MaxIterations bounds refinement (default 50).
+	MaxIterations int
+	// Seed drives the initial medoid selection.
+	Seed int64
+}
+
+// KMedoids clusters n items under dist. It uses a distance cache, so dist
+// is called O(n²/2) times at most; callers with expensive distances (DTW)
+// should still pre-resample their sequences.
+func KMedoids(n int, dist DistFunc, cfg Config) *Result {
+	if cfg.K <= 0 {
+		panic("cluster: K must be positive")
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 50
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	cache := newDistCache(n, dist)
+
+	// Initialization: greedy k-means++-style spread using a seeded stream —
+	// the first medoid is random; each next maximizes distance to chosen.
+	g := sim.NewRNG(cfg.Seed)
+	medoids := make([]int, 0, k)
+	if n > 0 {
+		medoids = append(medoids, g.Intn(n))
+	}
+	for len(medoids) < k {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if containsInt(medoids, i) {
+				continue
+			}
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if v := cache.get(i, m); v < d {
+					d = v
+				}
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		medoids = append(medoids, best)
+	}
+
+	assign := make([]int, n)
+	res := &Result{Medoids: medoids, Assign: assign}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := assign[i], math.Inf(1)
+			for c, m := range medoids {
+				if d := cache.get(i, m); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Update step: each cluster's medoid becomes the member minimizing
+		// the sum of distances to all other members.
+		moved := false
+		for c := range medoids {
+			members := res.Members(c)
+			if len(members) == 0 {
+				continue
+			}
+			best, bestSum := medoids[c], math.Inf(1)
+			for _, cand := range members {
+				var sum float64
+				for _, other := range members {
+					sum += cache.get(cand, other)
+				}
+				if sum < bestSum {
+					best, bestSum = cand, sum
+				}
+			}
+			if best != medoids[c] {
+				medoids[c] = best
+				moved = true
+			}
+		}
+		if !moved && !changed {
+			break
+		}
+	}
+	return res
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// distCache memoizes the symmetric distance matrix lazily.
+type distCache struct {
+	n    int
+	dist DistFunc
+	vals []float64
+	set  []bool
+}
+
+func newDistCache(n int, dist DistFunc) *distCache {
+	return &distCache{n: n, dist: dist, vals: make([]float64, n*n), set: make([]bool, n*n)}
+}
+
+func (c *distCache) get(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	idx := i*c.n + j
+	if !c.set[idx] {
+		c.vals[idx] = c.dist(i, j)
+		c.set[idx] = true
+	}
+	return c.vals[idx]
+}
+
+// Divergence measures classification quality the paper's way (Figure 7):
+// each request's divergence from its cluster centroid on some request
+// property (CPU time, peak CPI, …), |v_r − v_c| / v_c, averaged over all
+// requests. prop[i] is the property value of item i.
+func Divergence(res *Result, prop []float64) float64 {
+	if len(prop) != len(res.Assign) {
+		panic("cluster: Divergence property length mismatch")
+	}
+	var sum float64
+	var n int
+	for i, c := range res.Assign {
+		cv := prop[res.Medoids[c]]
+		if cv == 0 {
+			continue
+		}
+		sum += math.Abs(prop[i]-cv) / cv
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

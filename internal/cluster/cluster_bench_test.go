@@ -1,0 +1,20 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkKMedoids(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]float64, 400)
+	for i := range pts {
+		pts[i] = r.Float64() * 100
+	}
+	dist := func(i, j int) float64 { return math.Abs(pts[i] - pts[j]) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMedoids(len(pts), dist, Config{K: 10, Seed: 1})
+	}
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pointsDist builds a DistFunc over 1-D points.
+func pointsDist(pts []float64) DistFunc {
+	return func(i, j int) float64 { return math.Abs(pts[i] - pts[j]) }
+}
+
+func TestKMedoidsSeparatesObviousClusters(t *testing.T) {
+	// Two tight groups far apart.
+	pts := []float64{1, 1.1, 0.9, 1.05, 100, 100.2, 99.8, 100.1}
+	res := KMedoids(len(pts), pointsDist(pts), Config{K: 2, Seed: 1})
+	// All low points share a cluster, all high points the other.
+	low := res.Assign[0]
+	for i := 0; i < 4; i++ {
+		if res.Assign[i] != low {
+			t.Fatalf("low points split: %v", res.Assign)
+		}
+	}
+	high := res.Assign[4]
+	if high == low {
+		t.Fatalf("clusters merged: %v", res.Assign)
+	}
+	for i := 4; i < 8; i++ {
+		if res.Assign[i] != high {
+			t.Fatalf("high points split: %v", res.Assign)
+		}
+	}
+}
+
+func TestMedoidIsAMember(t *testing.T) {
+	pts := []float64{1, 2, 3, 10, 11, 12, 50}
+	res := KMedoids(len(pts), pointsDist(pts), Config{K: 3, Seed: 2})
+	for c, m := range res.Medoids {
+		if res.Assign[m] != c {
+			t.Fatalf("medoid %d of cluster %d not assigned to it", m, c)
+		}
+	}
+}
+
+func TestMedoidMinimizesIntraClusterSum(t *testing.T) {
+	pts := []float64{0, 1, 2, 3, 4} // medoid of a line is the middle point
+	res := KMedoids(len(pts), pointsDist(pts), Config{K: 1, Seed: 3})
+	if pts[res.Medoids[0]] != 2 {
+		t.Fatalf("medoid = %v, want middle point 2", pts[res.Medoids[0]])
+	}
+}
+
+func TestKGreaterThanN(t *testing.T) {
+	pts := []float64{1, 2}
+	res := KMedoids(len(pts), pointsDist(pts), Config{K: 10, Seed: 4})
+	if len(res.Medoids) != 2 {
+		t.Fatalf("K>n should clamp: %d medoids", len(res.Medoids))
+	}
+}
+
+func TestInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(40)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = r.Float64() * 50
+		}
+		k := 1 + r.Intn(6)
+		res := KMedoids(n, pointsDist(pts), Config{K: k, Seed: seed})
+		if len(res.Assign) != n {
+			return false
+		}
+		// Every assignment refers to a real cluster; every item is closest
+		// to its own medoid (no better medoid exists).
+		for i, c := range res.Assign {
+			if c < 0 || c >= len(res.Medoids) {
+				return false
+			}
+			own := math.Abs(pts[i] - pts[res.Medoids[c]])
+			for _, m := range res.Medoids {
+				if math.Abs(pts[i]-pts[m]) < own-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	pts := make([]float64, 30)
+	r := rand.New(rand.NewSource(7))
+	for i := range pts {
+		pts[i] = r.Float64() * 10
+	}
+	a := KMedoids(len(pts), pointsDist(pts), Config{K: 4, Seed: 11})
+	b := KMedoids(len(pts), pointsDist(pts), Config{K: 4, Seed: 11})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("clustering not deterministic for identical seed")
+		}
+	}
+}
+
+func TestDivergence(t *testing.T) {
+	pts := []float64{1, 1, 1, 10}
+	res := KMedoids(len(pts), pointsDist(pts), Config{K: 2, Seed: 5})
+	// Perfect clusters → zero divergence on the clustering property itself.
+	if d := Divergence(res, pts); d != 0 {
+		t.Fatalf("divergence of perfect clustering = %v", d)
+	}
+	// A property uncorrelated with clustering yields positive divergence.
+	other := []float64{1, 5, 9, 2}
+	if d := Divergence(res, other); d <= 0 {
+		t.Fatalf("uncorrelated property divergence = %v", d)
+	}
+}
+
+func TestDivergencePanicsOnMismatch(t *testing.T) {
+	res := KMedoids(3, pointsDist([]float64{1, 2, 3}), Config{K: 1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on property length mismatch")
+		}
+	}()
+	Divergence(res, []float64{1})
+}
+
+func TestKZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=0 did not panic")
+		}
+	}()
+	KMedoids(3, pointsDist([]float64{1, 2, 3}), Config{})
+}
+
+func TestDistCacheSymmetryAndLaziness(t *testing.T) {
+	calls := 0
+	d := func(i, j int) float64 { calls++; return float64(i + j) }
+	c := newDistCache(4, d)
+	v1 := c.get(1, 2)
+	v2 := c.get(2, 1)
+	if v1 != v2 {
+		t.Fatal("cache not symmetric")
+	}
+	if calls != 1 {
+		t.Fatalf("distance recomputed: %d calls", calls)
+	}
+	if c.get(3, 3) != 0 {
+		t.Fatal("self-distance not zero")
+	}
+}

@@ -1,0 +1,26 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// k-medoids over a toy population with two obvious groups: the medoids are
+// actual members (Section 4.2's requirement — the mean of variation
+// patterns is not well defined, so a centroid request stands in).
+func ExampleKMedoids() {
+	points := []float64{1.0, 1.1, 0.9, 10.0, 10.2, 9.8}
+	res := cluster.KMedoids(len(points), func(i, j int) float64 {
+		return math.Abs(points[i] - points[j])
+	}, cluster.Config{K: 2, Seed: 1})
+
+	for c := range res.Medoids {
+		fmt.Printf("cluster %d: centroid %.1f, %d members\n",
+			c, points[res.Medoids[c]], len(res.Members(c)))
+	}
+	// Output:
+	// cluster 0: centroid 10.0, 3 members
+	// cluster 1: centroid 1.0, 3 members
+}

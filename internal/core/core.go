@@ -1,0 +1,252 @@
+// Package core is the library facade of the reproduction: it wires the
+// simulated multicore machine, kernel, workload drivers, and the paper's
+// sampling layer into single-call experiment runs, and bundles the
+// variation-driven request modeling (classification, anomaly analysis,
+// signature identification) behind one Modeler type.
+//
+// The paper's contribution decomposes into (1) online OS-level tracking of
+// request behavior variations (package sampling on top of kernel/machine),
+// (2) variation-driven request modeling (packages distance, cluster,
+// anomaly, signature), and (3) contention-easing scheduling (package
+// sched). Package core is the front door to all three.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distance"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sampling"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PolicyKind selects the CPU scheduling policy for a run.
+type PolicyKind int
+
+const (
+	// PolicyRoundRobin is the baseline Linux-like scheduler.
+	PolicyRoundRobin PolicyKind = iota
+	// PolicyContentionEasing enables Section 5.2's adaptive scheduling.
+	PolicyContentionEasing
+	// PolicyTopologyAware enables the shared-cache-topology extension of
+	// the contention-easing policy (sched.TopologyAware).
+	PolicyTopologyAware
+)
+
+// Options configures a workload run.
+type Options struct {
+	// App is the server application under study.
+	App workload.App
+	// Cores overrides the machine's core count (0 = the paper's 4).
+	Cores int
+	// Concurrency is the closed-loop client session count (0 = 2×cores,
+	// enough to keep every core busy with queued alternatives).
+	Concurrency int
+	// Requests is the number of requests to complete.
+	Requests int
+	// Sampling configures the tracker; the zero value means context-switch
+	// sampling only. Use DefaultSampling for the paper's per-app setup.
+	Sampling sampling.Config
+	// Policy selects the scheduler.
+	Policy PolicyKind
+	// UsageThreshold is the contention-easing high-usage threshold
+	// (required for PolicyContentionEasing; see sched.HighUsageThreshold).
+	UsageThreshold float64
+	// MeterCoExecution enables the Figure 12 co-execution meter using
+	// UsageThreshold.
+	MeterCoExecution bool
+	// Seed drives all randomness.
+	Seed int64
+
+	// Ablation switches (DESIGN.md section 5). Zero values are the paper's
+	// system; the benches flip these to quantify each design choice.
+
+	// NoContention disables the shared-cache and memory-bandwidth
+	// contention model: co-runners no longer affect each other.
+	NoContention bool
+	// NoSwitchPollution stops charging context switches their cache
+	// refill cost.
+	NoSwitchPollution bool
+}
+
+// Result is everything a run produces.
+type Result struct {
+	// Store holds the completed request traces.
+	Store *trace.Store
+	// Samples tallies sampling activity for overhead accounting.
+	Samples sampling.Counts
+	// CoExecution is Figure 12's metric (zero unless metered).
+	CoExecution sched.HighUsageCoExecution
+	// Trainer carries transition-signal statistics when training was on.
+	Trainer *sampling.SignalTrainer
+	// PolicyStats reports contention-easing decisions (nil for the
+	// baseline policy).
+	PolicyStats *sched.ContentionEasing
+	// ContextSwitches and Syscalls are kernel event totals.
+	ContextSwitches, Syscalls uint64
+	// WallTime is the simulated duration of the whole run.
+	WallTime sim.Time
+}
+
+// DefaultSampling returns the paper's Section 3.1 sampling setup for an
+// application: periodic interrupt sampling at the per-app granularity with
+// observer-effect compensation.
+func DefaultSampling(app workload.App) sampling.Config {
+	return sampling.Config{
+		Mode:       sampling.Interrupt,
+		Period:     app.SamplingPeriod(),
+		Compensate: true,
+	}
+}
+
+// SyscallSampling returns the paper's Section 3.2 setup: system
+// call-triggered sampling with a backup interrupt. TsyscallMin is set to
+// the app's sampling period (matching overall frequency) and the backup
+// delay substantially larger.
+func SyscallSampling(app workload.App) sampling.Config {
+	return sampling.Config{
+		Mode:        sampling.SyscallTriggered,
+		TsyscallMin: app.SamplingPeriod(),
+		TbackupInt:  8 * app.SamplingPeriod(),
+		Compensate:  true,
+	}
+}
+
+// Run executes a closed-loop load under the given options.
+func Run(opts Options) (*Result, error) {
+	if opts.App == nil {
+		return nil, fmt.Errorf("core: Options.App is required")
+	}
+	if opts.Requests <= 0 {
+		return nil, fmt.Errorf("core: Options.Requests must be positive, got %d", opts.Requests)
+	}
+	eng := sim.NewEngine()
+	kcfg := kernel.DefaultConfig()
+	if opts.NoContention {
+		kcfg.Machine.Cache.StressScale = 0
+		kcfg.Machine.Cache.BandwidthSlope = 0
+	}
+	if opts.NoSwitchPollution {
+		kcfg.PollutionOnSwitch = false
+	}
+	if opts.Cores > 0 {
+		kcfg.Machine.Cores = opts.Cores
+		if opts.Cores < kcfg.Machine.CoresPerPackage {
+			kcfg.Machine.CoresPerPackage = opts.Cores
+		}
+	}
+	k := kernel.New(eng, kcfg)
+	tk := sampling.NewTracker(k, opts.Sampling)
+
+	res := &Result{}
+	if opts.Policy != PolicyRoundRobin {
+		if opts.UsageThreshold <= 0 {
+			return nil, fmt.Errorf("core: adaptive policies require a positive UsageThreshold")
+		}
+		mon := sched.NewMonitor(tk, 0.6)
+		k.OnRequestDone(func(run *kernel.RequestRun) { mon.Forget(run) })
+		switch opts.Policy {
+		case PolicyContentionEasing:
+			pol := sched.NewContentionEasing(mon, opts.UsageThreshold)
+			k.SetPolicy(pol)
+			res.PolicyStats = pol
+		case PolicyTopologyAware:
+			k.SetPolicy(sched.NewTopologyAware(mon, opts.UsageThreshold))
+		default:
+			return nil, fmt.Errorf("core: unknown policy %d", opts.Policy)
+		}
+	}
+	var meter *sched.CoExecutionMeter
+	if opts.MeterCoExecution {
+		if opts.UsageThreshold <= 0 {
+			return nil, fmt.Errorf("core: metering requires a positive UsageThreshold")
+		}
+		meter = sched.NewCoExecutionMeter(k, opts.UsageThreshold, sim.Millisecond)
+	}
+
+	concurrency := opts.Concurrency
+	if concurrency <= 0 {
+		concurrency = 2 * kcfg.Machine.Cores
+	}
+	d := kernel.NewDriver(k, kernel.LoadConfig{
+		App:         opts.App,
+		Concurrency: concurrency,
+		Requests:    opts.Requests,
+		Seed:        opts.Seed,
+	})
+	d.Start()
+	eng.RunAll()
+	if meter != nil {
+		meter.Stop()
+		res.CoExecution = meter.Result()
+	}
+	if d.Completed() != opts.Requests {
+		return nil, fmt.Errorf("core: run stalled at %d/%d requests", d.Completed(), opts.Requests)
+	}
+	res.Store = tk.Store()
+	res.Samples = tk.Counts
+	res.Trainer = tk.Trainer()
+	res.ContextSwitches = k.Stats.ContextSwitches
+	res.Syscalls = k.Stats.Syscalls
+	res.WallTime = eng.Now()
+	return res, nil
+}
+
+// BucketFor returns the per-application resampling bucket (instructions)
+// used when turning traces into fixed-length-period sequences: roughly
+// 1/20th of a typical request, so patterns have enough points to compare
+// without drowning in noise.
+func BucketFor(app string) float64 {
+	switch app {
+	case "webserver":
+		return 10e3
+	case "tpcc":
+		return 50e3
+	case "rubis":
+		return 100e3
+	case "tpch":
+		return 2e6
+	case "webwork":
+		return 5e6
+	default:
+		return 100e3
+	}
+}
+
+// Modeler bundles Section 4's variation-driven request modeling over a set
+// of traces from one application.
+type Modeler struct {
+	// BucketIns is the resampling bucket.
+	BucketIns float64
+	// AsyncPenalty and L1Penalty, when zero, are derived from the trace
+	// population (the paper's 99-percentile peak metric difference).
+	AsyncPenalty float64
+	L1Penalty    float64
+}
+
+// NewModeler builds a modeler for an application's traces, deriving the
+// penalty from the population per Section 4.1.
+func NewModeler(app string, traces []*trace.Request) *Modeler {
+	bucket := BucketFor(app)
+	var seqs [][]float64
+	for _, tr := range traces {
+		seqs = append(seqs, tr.Resampled(metrics.CPI, bucket))
+	}
+	p := distance.PeakPenalty(seqs)
+	return &Modeler{BucketIns: bucket, AsyncPenalty: p, L1Penalty: p}
+}
+
+// L1 returns the Equation 2 measure with the derived penalty.
+func (m *Modeler) L1() distance.Measure { return distance.L1{Penalty: m.L1Penalty} }
+
+// DTW returns plain dynamic time warping.
+func (m *Modeler) DTW() distance.Measure { return distance.DTW{} }
+
+// DTWPenalized returns the paper's enhanced measure.
+func (m *Modeler) DTWPenalized() distance.Measure {
+	return distance.DTW{AsyncPenalty: m.AsyncPenalty}
+}

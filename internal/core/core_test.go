@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Options{Requests: 1}); err == nil {
+		t.Fatal("missing App should error")
+	}
+	if _, err := Run(Options{App: workload.NewWebServer()}); err == nil {
+		t.Fatal("zero Requests should error")
+	}
+	if _, err := Run(Options{App: workload.NewWebServer(), Requests: 1,
+		Policy: PolicyContentionEasing}); err == nil {
+		t.Fatal("contention easing without threshold should error")
+	}
+	if _, err := Run(Options{App: workload.NewWebServer(), Requests: 1,
+		MeterCoExecution: true}); err == nil {
+		t.Fatal("metering without threshold should error")
+	}
+}
+
+func TestRunSerialVsConcurrent(t *testing.T) {
+	app := workload.NewTPCH()
+	serial, err := Run(Options{App: app, Cores: 1, Concurrency: 1, Requests: 15,
+		Sampling: DefaultSampling(app), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Run(Options{App: app, Requests: 15,
+		Sampling: DefaultSampling(app), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1's headline: concurrent execution obfuscates performance;
+	// TPCH's peak CPI worsens markedly.
+	s90 := stats.Percentile(serial.Store.MetricValues(metrics.CPI), 90)
+	c90 := stats.Percentile(conc.Store.MetricValues(metrics.CPI), 90)
+	if c90 < s90*1.3 {
+		t.Fatalf("4-core 90p CPI %.2f should substantially exceed 1-core %.2f", c90, s90)
+	}
+}
+
+func TestRunWithContentionEasing(t *testing.T) {
+	app := workload.NewTPCH()
+	base, err := Run(Options{App: app, Requests: 20, Sampling: DefaultSampling(app), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := sched.HighUsageThreshold(base.Store, 80)
+	eased, err := Run(Options{App: app, Requests: 20, Sampling: DefaultSampling(app),
+		Policy: PolicyContentionEasing, UsageThreshold: threshold,
+		MeterCoExecution: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eased.PolicyStats == nil {
+		t.Fatal("policy stats missing")
+	}
+	if eased.Store.Len() != 20 {
+		t.Fatalf("traced %d/20", eased.Store.Len())
+	}
+}
+
+func TestSamplingPresets(t *testing.T) {
+	app := workload.NewWebServer()
+	d := DefaultSampling(app)
+	if d.Period != app.SamplingPeriod() || !d.Compensate {
+		t.Fatalf("DefaultSampling = %+v", d)
+	}
+	s := SyscallSampling(app)
+	if s.TbackupInt <= s.TsyscallMin {
+		t.Fatal("backup delay must exceed TsyscallMin")
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	if BucketFor("webserver") >= BucketFor("tpch") {
+		t.Fatal("short-request apps need finer buckets")
+	}
+	if BucketFor("unknown") <= 0 {
+		t.Fatal("unknown app should get a sane default")
+	}
+}
+
+func TestModelerDerivesPenalty(t *testing.T) {
+	app := workload.NewTPCC()
+	res, err := Run(Options{App: app, Requests: 30, Sampling: DefaultSampling(app), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModeler("tpcc", res.Store.Traces)
+	if m.AsyncPenalty <= 0 {
+		t.Fatalf("penalty not derived: %v", m.AsyncPenalty)
+	}
+	if m.L1().Name() == "" || m.DTW().Name() == "" || m.DTWPenalized().Name() == "" {
+		t.Fatal("measure constructors broken")
+	}
+}

@@ -1,0 +1,201 @@
+// Package distance implements the request differencing measures of
+// Section 4.1: the L1 distance with an unequal-length penalty (Equation 2),
+// classic dynamic time warping (Equation 3), the paper's enhancement of DTW
+// with an additional penalty on asynchronous warp steps, Levenshtein string
+// edit distance over system call sequences (the Magpie approach), and the
+// difference of whole-request average metric values (the paper's earlier
+// signature work).
+package distance
+
+import (
+	"math"
+	"sort"
+)
+
+// Measure quantifies the difference between two requests' time-ordered
+// metric value sequences (resampled to fixed-length periods).
+type Measure interface {
+	// Distance returns a non-negative dissimilarity; 0 for identical
+	// sequences.
+	Distance(x, y []float64) float64
+	// Name identifies the measure in reports.
+	Name() string
+}
+
+// L1 is Equation 2: element-wise absolute difference over the common
+// prefix plus Penalty for each unmatched trailing element. The paper sets
+// the penalty to a peak-level (99-percentile) metric difference for the
+// application.
+type L1 struct {
+	Penalty float64
+}
+
+// Name implements Measure.
+func (L1) Name() string { return "L1" }
+
+// Distance implements Measure. Complexity O(max(m,n)).
+func (d L1) Distance(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(x[i] - y[i])
+	}
+	return sum + float64(len(x)+len(y)-2*n)*d.Penalty
+}
+
+// DTW is the dynamic time warping distance (Equation 3): the minimum, over
+// all valid warp paths, of the summed metric differences at the two
+// pointers, where a warp step advances both pointers (synchronous) or one
+// (asynchronous). AsyncPenalty, when positive, is added per asynchronous
+// step — the paper's enhancement that prevents under-estimating request
+// differences through no-cost time shifting. Complexity O(m·n).
+type DTW struct {
+	AsyncPenalty float64
+}
+
+// Name implements Measure.
+func (d DTW) Name() string {
+	if d.AsyncPenalty > 0 {
+		return "DTW+asynchrony-penalty"
+	}
+	return "DTW"
+}
+
+// Distance implements Measure.
+func (d DTW) Distance(x, y []float64) float64 {
+	m, n := len(x), len(y)
+	switch {
+	case m == 0 && n == 0:
+		return 0
+	case m == 0:
+		return float64(n) * d.AsyncPenalty
+	case n == 0:
+		return float64(m) * d.AsyncPenalty
+	}
+	// dp[j] holds the best path cost reaching (i, j); rolling rows keep
+	// memory O(n).
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	prev[0] = math.Abs(x[0] - y[0])
+	for j := 1; j < n; j++ {
+		prev[j] = prev[j-1] + math.Abs(x[0]-y[j]) + d.AsyncPenalty
+	}
+	for i := 1; i < m; i++ {
+		cur[0] = prev[0] + math.Abs(x[i]-y[0]) + d.AsyncPenalty
+		for j := 1; j < n; j++ {
+			diff := math.Abs(x[i] - y[j])
+			best := prev[j-1] + diff // synchronous step
+			if alt := prev[j] + diff + d.AsyncPenalty; alt < best {
+				best = alt // advance x only
+			}
+			if alt := cur[j-1] + diff + d.AsyncPenalty; alt < best {
+				best = alt // advance y only
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1]
+}
+
+// AverageDiff compares only whole-request average metric values — the
+// paper's prior average-value request signatures [27]. Inputs are treated
+// as equal-length-period sequences whose mean is the request average.
+type AverageDiff struct{}
+
+// Name implements Measure.
+func (AverageDiff) Name() string { return "average-metric" }
+
+// Distance implements Measure.
+func (AverageDiff) Distance(x, y []float64) float64 {
+	return math.Abs(mean(x) - mean(y))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Levenshtein is the string edit distance between two system call name
+// sequences: the minimum number of insertions, deletions, or substitutions
+// transforming one into the other (the Magpie software-event approach).
+func Levenshtein(a, b []string) int {
+	m, n := len(a), len(b)
+	if m == 0 {
+		return n
+	}
+	if n == 0 {
+		return m
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost // substitute (or match)
+			if alt := prev[j] + 1; alt < best {
+				best = alt // delete from a
+			}
+			if alt := cur[j-1] + 1; alt < best {
+				best = alt // insert into a
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// PeakPenalty computes the paper's penalty setting: the 99-percentile of
+// the distribution of metric differences at two arbitrary points of
+// application execution, estimated from the pooled resampled values of a
+// request population by pairing values at a fixed stride.
+func PeakPenalty(sequences [][]float64) float64 {
+	var diffs []float64
+	pool := make([]float64, 0, 256)
+	for _, s := range sequences {
+		pool = append(pool, s...)
+	}
+	if len(pool) < 2 {
+		return 0
+	}
+	// Pair each value with one at a large co-prime stride: a deterministic
+	// stand-in for "two arbitrary points".
+	stride := len(pool)/2 + 1
+	for i := range pool {
+		j := (i + stride) % len(pool)
+		diffs = append(diffs, math.Abs(pool[i]-pool[j]))
+	}
+	return percentile(diffs, 99)
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,71 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeq(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64() * 5
+	}
+	return out
+}
+
+func benchNames(n int, seed int64) []string {
+	words := []string{"read", "write", "poll", "stat", "open", "lseek", "writev", "sendto"}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[r.Intn(len(words))]
+	}
+	return out
+}
+
+func BenchmarkL1_100(b *testing.B) {
+	x, y := benchSeq(100, 1), benchSeq(100, 2)
+	d := L1{Penalty: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Distance(x, y)
+	}
+}
+
+func BenchmarkDTW_100(b *testing.B) {
+	x, y := benchSeq(100, 1), benchSeq(100, 2)
+	d := DTW{AsyncPenalty: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Distance(x, y)
+	}
+}
+
+func BenchmarkDTW_1000(b *testing.B) {
+	x, y := benchSeq(1000, 1), benchSeq(1000, 2)
+	d := DTW{AsyncPenalty: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Distance(x, y)
+	}
+}
+
+func BenchmarkLevenshtein_300(b *testing.B) {
+	x, y := benchNames(300, 1), benchNames(300, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(x, y)
+	}
+}
+
+func BenchmarkPeakPenalty(b *testing.B) {
+	seqs := make([][]float64, 50)
+	for i := range seqs {
+		seqs[i] = benchSeq(40, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PeakPenalty(seqs)
+	}
+}

@@ -1,0 +1,300 @@
+// Package distributed implements the paper's second future-work direction
+// (Section 7): "the online management of request behavior variations
+// across a distributed server architecture can expose both local and
+// inter-machine variations … [and] may also guide additional distributed
+// system resource management such as component placement."
+//
+// A cluster is a set of simulated machines sharing one virtual clock, each
+// with its own kernel and tracker. A multi-tier request is split into
+// per-tier segments; each segment executes on the node hosting its tier,
+// and segments are stitched — across simulated network hops — into one
+// distributed trace that separates per-machine execution, exactly the
+// request context propagation the paper's single-machine prototype could
+// not follow past one kernel.
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sampling"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// NetworkConfig models the interconnect between nodes.
+type NetworkConfig struct {
+	// HopLatency is the mean one-way latency of a tier hop between
+	// different nodes (exponentially distributed). Hops between tiers
+	// placed on the same node are free (they stay in-kernel).
+	HopLatency sim.Time
+}
+
+// Node is one machine of the cluster: a kernel with its own cores and an
+// attached tracker.
+type Node struct {
+	Name    string
+	Kernel  *kernel.Kernel
+	Tracker *sampling.Tracker
+
+	// expects maps request id → the pending distributed request whose
+	// current segment runs on this node.
+	expects map[uint64]expectation
+}
+
+// Cluster is a set of nodes on one simulation clock, plus the placement of
+// application tiers onto nodes.
+type Cluster struct {
+	eng   *sim.Engine
+	net   NetworkConfig
+	nodes []*Node
+	// placement maps tier → node index.
+	placement []int
+
+	inflight int
+	done     func(*Trace)
+}
+
+// Config builds a cluster.
+type Config struct {
+	// Nodes is the number of machines (each gets KernelConfig's cores).
+	Nodes int
+	// KernelConfig configures every node's kernel (zero value = default).
+	KernelConfig *kernel.Config
+	// Sampling configures every node's tracker.
+	Sampling sampling.Config
+	// Placement maps each application tier to a node index. Tiers beyond
+	// the slice default to node 0.
+	Placement []int
+	// Network models the interconnect.
+	Network NetworkConfig
+	// Seed drives network latency draws.
+	Seed int64
+}
+
+// NewCluster builds the cluster on a fresh simulation engine.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("distributed: Nodes must be positive, got %d", cfg.Nodes)
+	}
+	for _, p := range cfg.Placement {
+		if p < 0 || p >= cfg.Nodes {
+			return nil, fmt.Errorf("distributed: placement %d outside [0,%d)", p, cfg.Nodes)
+		}
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{
+		eng:       eng,
+		net:       cfg.Network,
+		placement: append([]int(nil), cfg.Placement...),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		kcfg := kernel.DefaultConfig()
+		if cfg.KernelConfig != nil {
+			kcfg = *cfg.KernelConfig
+		}
+		k := kernel.New(eng, kcfg)
+		tk := sampling.NewTracker(k, cfg.Sampling)
+		// Every node hosts a single local "tier 0" worker pool; segments
+		// arriving at a node always run as that node's tier 0.
+		k.AddWorkers(0, kcfg.Machine.Cores*2)
+		node := &Node{Name: fmt.Sprintf("node%d", i), Kernel: k, Tracker: tk}
+		c.nodes = append(c.nodes, node)
+		tk.OnComplete(c.segmentDone(node))
+	}
+	return c, nil
+}
+
+// Engine returns the shared simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Nodes returns the cluster's machines.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// NodeFor returns the node index hosting a tier.
+func (c *Cluster) NodeFor(tier int) int {
+	if tier < len(c.placement) {
+		return c.placement[tier]
+	}
+	return 0
+}
+
+// Segment is one per-node stretch of a distributed request.
+type Segment struct {
+	Node  string
+	Tier  int
+	Trace *trace.Request
+	// NetworkDelay is the hop latency paid before this segment started.
+	NetworkDelay sim.Time
+}
+
+// Trace is a stitched distributed request execution.
+type Trace struct {
+	ID       uint64
+	App      string
+	Type     string
+	Segments []Segment
+	// Start and End are wall-clock request boundaries across the cluster.
+	Start, End sim.Time
+}
+
+// CPUTime sums CPU execution across all machines.
+func (t *Trace) CPUTime() sim.Time {
+	var total sim.Time
+	for _, s := range t.Segments {
+		total += s.Trace.CPUTime()
+	}
+	return total
+}
+
+// NetworkTime sums the inter-machine hop latencies.
+func (t *Trace) NetworkTime() sim.Time {
+	var total sim.Time
+	for _, s := range t.Segments {
+		total += s.NetworkDelay
+	}
+	return total
+}
+
+// Latency is the end-to-end response time.
+func (t *Trace) Latency() sim.Time { return t.End - t.Start }
+
+// PerNodeCPU returns CPU time by node name — the inter-machine variation
+// view.
+func (t *Trace) PerNodeCPU() map[string]sim.Time {
+	out := map[string]sim.Time{}
+	for _, s := range t.Segments {
+		out[s.Node] += s.Trace.CPUTime()
+	}
+	return out
+}
+
+// pending tracks one distributed request mid-flight.
+type pending struct {
+	cluster  *Cluster
+	trace    *Trace
+	segments []segmentPlan
+	next     int
+	rng      *sim.RNG
+}
+
+type segmentPlan struct {
+	tier   int
+	phases []workload.Phase
+}
+
+// splitSegments groups consecutive phases by tier.
+func splitSegments(req *workload.Request) []segmentPlan {
+	var out []segmentPlan
+	for _, ph := range req.Phases {
+		n := len(out)
+		if n == 0 || out[n-1].tier != ph.Tier {
+			out = append(out, segmentPlan{tier: ph.Tier})
+			n++
+		}
+		local := ph
+		local.Tier = 0 // segments run as the hosting node's local tier
+		out[n-1].phases = append(out[n-1].phases, local)
+	}
+	return out
+}
+
+// Submit launches a distributed request. The done callback fires when the
+// final segment completes.
+func (c *Cluster) Submit(req *workload.Request) {
+	p := &pending{
+		cluster: c,
+		trace: &Trace{
+			ID:    req.ID,
+			App:   req.App,
+			Type:  req.Type,
+			Start: c.eng.Now(),
+		},
+		segments: splitSegments(req),
+		rng:      req.RNG,
+	}
+	c.inflight++
+	p.launchNext(0)
+}
+
+// OnDone registers the completion callback for distributed traces.
+func (c *Cluster) OnDone(fn func(*Trace)) { c.done = fn }
+
+// Inflight reports in-flight distributed requests.
+func (c *Cluster) Inflight() int { return c.inflight }
+
+func (p *pending) launchNext(delay sim.Time) {
+	c := p.cluster
+	seg := p.segments[p.next]
+	nodeIdx := c.NodeFor(seg.tier)
+	node := c.nodes[nodeIdx]
+	launch := func() {
+		sub := &workload.Request{
+			ID:     p.trace.ID,
+			App:    p.trace.App,
+			Type:   p.trace.Type,
+			Phases: seg.phases,
+			RNG:    p.rng,
+		}
+		c.expect(node, sub.ID, p, delay)
+		node.Kernel.Submit(sub)
+	}
+	if delay > 0 {
+		c.eng.After(delay, launch)
+		return
+	}
+	launch()
+}
+
+// expectations map (node, request id) to the pending distributed request.
+type expectation struct {
+	p     *pending
+	delay sim.Time
+}
+
+func (c *Cluster) expect(node *Node, id uint64, p *pending, delay sim.Time) {
+	if node.expects == nil {
+		node.expects = map[uint64]expectation{}
+	}
+	node.expects[id] = expectation{p: p, delay: delay}
+}
+
+// segmentDone stitches a completed node-local trace into its distributed
+// request and launches the next segment (after a network hop if the next
+// tier lives elsewhere).
+func (c *Cluster) segmentDone(node *Node) func(tr *trace.Request) {
+	return func(tr *trace.Request) {
+		exp, ok := node.expects[tr.ID]
+		if !ok {
+			return
+		}
+		delete(node.expects, tr.ID)
+		p := exp.p
+		seg := p.segments[p.next]
+		p.trace.Segments = append(p.trace.Segments, Segment{
+			Node:         node.Name,
+			Tier:         seg.tier,
+			Trace:        tr,
+			NetworkDelay: exp.delay,
+		})
+		p.next++
+		if p.next >= len(p.segments) {
+			p.trace.End = c.eng.Now()
+			c.inflight--
+			if c.done != nil {
+				c.done(p.trace)
+			}
+			return
+		}
+		// Network hop when the next tier lives on a different node.
+		var delay sim.Time
+		if c.NodeFor(p.segments[p.next].tier) != c.NodeFor(seg.tier) {
+			delay = sim.Time(p.rng.Exp(float64(c.net.HopLatency)))
+			if delay < sim.Microsecond {
+				delay = sim.Microsecond
+			}
+		}
+		p.launchNext(delay)
+	}
+}

@@ -1,0 +1,222 @@
+package distributed
+
+import (
+	"testing"
+
+	"repro/internal/sampling"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func clusterConfig(nodes int, placement []int) Config {
+	return Config{
+		Nodes:     nodes,
+		Sampling:  sampling.Config{Mode: sampling.CtxSwitchOnly, Compensate: true},
+		Placement: placement,
+		Network:   NetworkConfig{HopLatency: 200 * sim.Microsecond},
+		Seed:      7,
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{}); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	if _, err := NewCluster(clusterConfig(2, []int{0, 5})); err == nil {
+		t.Fatal("out-of-range placement should error")
+	}
+	c, err := NewCluster(clusterConfig(2, []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 2 {
+		t.Fatalf("nodes = %d", len(c.Nodes()))
+	}
+	if c.NodeFor(0) != 0 || c.NodeFor(1) != 1 || c.NodeFor(9) != 0 {
+		t.Fatal("NodeFor placement mapping wrong")
+	}
+}
+
+func TestSplitSegments(t *testing.T) {
+	req := &workload.Request{Phases: []workload.Phase{
+		{Name: "a", Tier: 0, Instructions: 1},
+		{Name: "b", Tier: 0, Instructions: 1},
+		{Name: "c", Tier: 1, Instructions: 1},
+		{Name: "d", Tier: 2, Instructions: 1},
+		{Name: "e", Tier: 1, Instructions: 1},
+		{Name: "f", Tier: 0, Instructions: 1},
+	}}
+	segs := splitSegments(req)
+	wantTiers := []int{0, 1, 2, 1, 0}
+	if len(segs) != len(wantTiers) {
+		t.Fatalf("segments = %d, want %d", len(segs), len(wantTiers))
+	}
+	for i, s := range segs {
+		if s.tier != wantTiers[i] {
+			t.Fatalf("segment %d tier = %d, want %d", i, s.tier, wantTiers[i])
+		}
+		for _, ph := range s.phases {
+			if ph.Tier != 0 {
+				t.Fatal("segment phases must be rebased to the node-local tier")
+			}
+		}
+	}
+	if len(segs[0].phases) != 2 {
+		t.Fatalf("first segment phases = %d, want 2", len(segs[0].phases))
+	}
+}
+
+func TestDistributedRUBiSAcrossThreeNodes(t *testing.T) {
+	c, err := NewCluster(clusterConfig(3, []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := NewDriver(c, workload.NewRUBiS(), 4, 25, 3).Run()
+	if len(traces) != 25 {
+		t.Fatalf("completed %d/25", len(traces))
+	}
+	sawThreeNodes := false
+	for _, tr := range traces {
+		if tr.End <= tr.Start {
+			t.Fatal("bad trace boundaries")
+		}
+		if tr.CPUTime() <= 0 {
+			t.Fatal("no CPU time accumulated")
+		}
+		perNode := tr.PerNodeCPU()
+		if len(perNode) == 3 {
+			sawThreeNodes = true
+		}
+		// Requests crossing machines must have paid network time, and
+		// latency covers CPU plus network.
+		if len(perNode) > 1 {
+			if tr.NetworkTime() <= 0 {
+				t.Fatal("multi-node request with no network time")
+			}
+			if tr.Latency() < tr.NetworkTime() {
+				t.Fatal("latency below network time")
+			}
+		}
+	}
+	if !sawThreeNodes {
+		t.Fatal("no request spanned all three nodes")
+	}
+}
+
+func TestColocationAvoidsNetwork(t *testing.T) {
+	c, err := NewCluster(clusterConfig(3, []int{0, 0, 0})) // all tiers on node0
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := NewDriver(c, workload.NewRUBiS(), 4, 15, 3).Run()
+	for _, tr := range traces {
+		if tr.NetworkTime() != 0 {
+			t.Fatalf("co-located placement paid network time %v", tr.NetworkTime())
+		}
+		if len(tr.PerNodeCPU()) != 1 {
+			t.Fatal("co-located placement used multiple nodes")
+		}
+	}
+}
+
+func TestInterMachineVariationsExposed(t *testing.T) {
+	// The distributed trace separates per-node execution: the DB node's
+	// segments should show the DB tier's hotter characteristics.
+	c, err := NewCluster(clusterConfig(3, []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := NewDriver(c, workload.NewRUBiS(), 4, 25, 3).Run()
+	var webCPU, dbCPU float64
+	for _, tr := range traces {
+		for _, seg := range tr.Segments {
+			switch seg.Tier {
+			case 0:
+				webCPU += float64(seg.Trace.CPUTime())
+			case 2:
+				dbCPU += float64(seg.Trace.CPUTime())
+			}
+		}
+	}
+	if webCPU == 0 || dbCPU == 0 {
+		t.Fatal("missing per-tier CPU accounting")
+	}
+}
+
+func TestEvaluatePlacementsRanksColocationFirst(t *testing.T) {
+	// With an expensive network, co-locating all tiers must beat full
+	// spreading on mean latency; the advisor should rank it first.
+	base := clusterConfig(3, nil)
+	base.Network.HopLatency = 2 * sim.Millisecond
+	results, err := EvaluatePlacements(workload.NewRUBiS(), base,
+		[][]int{{0, 1, 2}, {0, 0, 0}}, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	best := results[0]
+	if !(best.Placement[0] == 0 && best.Placement[1] == 0 && best.Placement[2] == 0) {
+		t.Fatalf("expected co-location to win under expensive network, got %v", best.Placement)
+	}
+	if best.MeanNetworkNs != 0 {
+		t.Fatalf("co-location network time = %v", best.MeanNetworkNs)
+	}
+	spread := results[1]
+	if spread.MeanLatencyNs <= best.MeanLatencyNs {
+		t.Fatal("ranking not by mean latency")
+	}
+	if best.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestDeterministicDistributedRuns(t *testing.T) {
+	run := func() sim.Time {
+		c, err := NewCluster(clusterConfig(3, []int{0, 1, 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := NewDriver(c, workload.NewRUBiS(), 4, 15, 9).Run()
+		var last sim.Time
+		for _, tr := range traces {
+			if tr.End > last {
+				last = tr.End
+			}
+		}
+		return last
+	}
+	if run() != run() {
+		t.Fatal("distributed runs not deterministic")
+	}
+}
+
+func TestDistributedInstructionConservation(t *testing.T) {
+	// The stitched segments must execute the whole request: summed segment
+	// instructions match the generated request totals.
+	c, err := NewCluster(clusterConfig(3, []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workload.NewRUBiS()
+	gen := sim.ForkLabeled(3, "distributed-gen-"+app.Name()) // driver's stream
+	want := map[uint64]float64{}
+	for i := 1; i <= 10; i++ {
+		want[uint64(i)] = app.NewRequest(uint64(i), gen).TotalInstructions()
+	}
+	// Fresh generator state inside the driver reproduces the same requests.
+	traces := NewDriver(c, app, 2, 10, 3).Run()
+	for _, tr := range traces {
+		var got float64
+		for _, seg := range tr.Segments {
+			got += float64(seg.Trace.Instructions())
+		}
+		w := want[tr.ID]
+		// Traced instructions include injected kernel work, so >= app total
+		// within a modest envelope.
+		if got < w*0.95 || got > w*1.3 {
+			t.Fatalf("request %d: traced %.0f instructions, generated %.0f", tr.ID, got, w)
+		}
+	}
+}

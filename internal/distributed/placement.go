@@ -1,0 +1,117 @@
+package distributed
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Driver runs a closed-loop load against a cluster.
+type Driver struct {
+	c         *Cluster
+	app       workload.App
+	gen       *sim.RNG
+	requests  int
+	submitted int
+	traces    []*Trace
+}
+
+// NewDriver attaches a closed-loop driver with the given concurrency.
+func NewDriver(c *Cluster, app workload.App, concurrency, requests int, seed int64) *Driver {
+	d := &Driver{
+		c:        c,
+		app:      app,
+		gen:      sim.ForkLabeled(seed, "distributed-gen-"+app.Name()),
+		requests: requests,
+	}
+	c.OnDone(d.onDone)
+	if concurrency > requests {
+		concurrency = requests
+	}
+	for i := 0; i < concurrency; i++ {
+		d.submitNext()
+	}
+	return d
+}
+
+// Run executes the load to completion and returns the distributed traces.
+func (d *Driver) Run() []*Trace {
+	d.c.Engine().RunAll()
+	return d.traces
+}
+
+func (d *Driver) submitNext() {
+	if d.submitted >= d.requests {
+		return
+	}
+	d.submitted++
+	d.c.Submit(d.app.NewRequest(uint64(d.submitted), d.gen))
+}
+
+func (d *Driver) onDone(t *Trace) {
+	d.traces = append(d.traces, t)
+	if len(d.traces) >= d.requests {
+		d.c.Engine().Stop()
+		return
+	}
+	d.submitNext()
+}
+
+// PlacementResult evaluates one tier-to-node assignment.
+type PlacementResult struct {
+	Placement []int
+	// MeanLatencyNs and P95LatencyNs summarize end-to-end response times.
+	MeanLatencyNs, P95LatencyNs float64
+	// MeanNetworkNs is the average per-request inter-machine time.
+	MeanNetworkNs float64
+	// NodeCPU is each node's total CPU time — the load-balance view.
+	NodeCPU []float64
+}
+
+func (r PlacementResult) String() string {
+	return fmt.Sprintf("placement %v: mean %.2fms p95 %.2fms (net %.2fms)",
+		r.Placement, r.MeanLatencyNs/1e6, r.P95LatencyNs/1e6, r.MeanNetworkNs/1e6)
+}
+
+// EvaluatePlacements simulates the application under each candidate
+// placement and ranks them by mean latency — the paper's envisioned
+// component-placement guidance from distributed variation tracking.
+func EvaluatePlacements(app workload.App, base Config, placements [][]int, concurrency, requests int) ([]PlacementResult, error) {
+	var out []PlacementResult
+	for _, pl := range placements {
+		cfg := base
+		cfg.Placement = pl
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		traces := NewDriver(c, app, concurrency, requests, base.Seed).Run()
+		if len(traces) != requests {
+			return nil, fmt.Errorf("distributed: placement %v stalled at %d/%d requests",
+				pl, len(traces), requests)
+		}
+		var lat, net []float64
+		nodeCPU := make([]float64, cfg.Nodes)
+		for _, t := range traces {
+			lat = append(lat, float64(t.Latency()))
+			net = append(net, float64(t.NetworkTime()))
+			for i, n := range c.Nodes() {
+				if cpu, ok := t.PerNodeCPU()[n.Name]; ok {
+					nodeCPU[i] += float64(cpu)
+				}
+			}
+		}
+		out = append(out, PlacementResult{
+			Placement:     append([]int(nil), pl...),
+			MeanLatencyNs: stats.Mean(lat),
+			P95LatencyNs:  stats.Percentile(lat, 95),
+			MeanNetworkNs: stats.Mean(net),
+			NodeCPU:       nodeCPU,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MeanLatencyNs < out[j].MeanLatencyNs })
+	return out, nil
+}

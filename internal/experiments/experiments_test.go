@@ -1,0 +1,500 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testCfg runs experiments at reduced scale; the assertions below check the
+// paper's qualitative shapes, which must hold even at this scale.
+var testCfg = Config{Seed: 1, Scale: 0.2}
+
+func TestFigure1Shapes(t *testing.T) {
+	r, err := Figure1(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Apps) != 5 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	byApp := map[string]Figure1App{}
+	for _, a := range r.Apps {
+		byApp[a.App] = a
+		if len(a.Serial) == 0 || len(a.Concurrent) == 0 {
+			t.Fatalf("%s: empty distributions", a.App)
+		}
+		// Concurrency never improves the 90-percentile CPI.
+		if a.ConcurrentP90 < a.SerialP90*0.95 {
+			t.Errorf("%s: 4-core p90 %.2f below 1-core %.2f", a.App, a.ConcurrentP90, a.SerialP90)
+		}
+	}
+	// TPCH's 90-percentile roughly doubles under concurrency.
+	tpch := byApp["tpch"]
+	if ratio := tpch.ConcurrentP90 / tpch.SerialP90; ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("TPCH p90 obfuscation ratio = %.2f, want ~2x", ratio)
+	}
+	// WeBWorK sees no significant impact.
+	ww := byApp["webwork"]
+	if ratio := ww.ConcurrentP90 / ww.SerialP90; ratio > 1.15 {
+		t.Errorf("WeBWorK p90 ratio = %.2f, want ~1x", ratio)
+	}
+	if r.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	r, err := Figure2(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Requests) != 5 {
+		t.Fatalf("requests = %d", len(r.Requests))
+	}
+	for _, q := range r.Requests {
+		if len(q.CPI) < 3 {
+			t.Errorf("%s: too few pattern points (%d)", q.App, len(q.CPI))
+		}
+		if q.CPICoV <= 0 {
+			t.Errorf("%s: no intra-request variation captured", q.App)
+		}
+		if len(q.RefsPerIn) == 0 || len(q.MissRatio) == 0 {
+			t.Errorf("%s: missing companion metric patterns", q.App)
+		}
+	}
+	// WeBWorK requests are by far the longest (hundreds of millions of
+	// instructions) and web requests the shortest.
+	byApp := map[string]Figure2Request{}
+	for _, q := range r.Requests {
+		byApp[q.App] = q
+	}
+	if byApp["webwork"].TotalIns < 50*byApp["webserver"].TotalIns {
+		t.Error("request length scales not preserved")
+	}
+	_ = r.String()
+}
+
+func TestTable1Shapes(t *testing.T) {
+	r, err := Table1(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	find := func(ctx, wl string) Table1Row {
+		for _, row := range r.Rows {
+			if row.Context == ctx && strings.Contains(row.Workload, wl) {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%s", ctx, wl)
+		return Table1Row{}
+	}
+	ks := find("in-kernel", "spin")
+	kd := find("in-kernel", "data")
+	is := find("interrupt", "spin")
+	id := find("interrupt", "data")
+	// Interrupt sampling costs more than in-kernel sampling (the extra
+	// user/kernel domain switch).
+	if is.TimeCostNs <= ks.TimeCostNs {
+		t.Errorf("interrupt cost %.0f <= kernel cost %.0f", is.TimeCostNs, ks.TimeCostNs)
+	}
+	// Cache-polluting workloads raise the cost and inject L2 references.
+	if kd.TimeCostNs <= ks.TimeCostNs || id.TimeCostNs <= is.TimeCostNs {
+		t.Error("Mbench-Data should cost more per sample than Mbench-Spin")
+	}
+	if kd.Extra.L2Refs == 0 || id.Extra.L2Refs == 0 {
+		t.Error("Mbench-Data samples should inject L2 references")
+	}
+	if ks.Extra.L2Refs > 2 || is.Extra.L2Refs > 2 {
+		t.Error("Mbench-Spin samples should inject (almost) no L2 references")
+	}
+	// The paper's absolute scale: in-kernel ~0.4 µs, interrupt ~0.8 µs.
+	if ks.TimeCostNs < 300 || ks.TimeCostNs > 600 {
+		t.Errorf("in-kernel sample cost %.0f ns outside Table 1 scale", ks.TimeCostNs)
+	}
+	if is.TimeCostNs < 600 || is.TimeCostNs > 1000 {
+		t.Errorf("interrupt sample cost %.0f ns outside Table 1 scale", is.TimeCostNs)
+	}
+	_ = r.String()
+}
+
+func TestFigure3Shapes(t *testing.T) {
+	r, err := Figure3(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Figure3App{}
+	for _, a := range r.Apps {
+		byApp[a.App] = a
+	}
+	for _, m := range r.Metrics {
+		var tpchRatio float64
+		for name, a := range byApp {
+			inter, intra := a.InterOnly[m], a.WithIntra[m]
+			if intra < inter*0.9 {
+				t.Errorf("%s/%v: intra-request consideration reduced CoV (%.3f -> %.3f)",
+					name, m, inter, intra)
+			}
+			ratio := intra / inter
+			if name == "tpch" {
+				tpchRatio = ratio
+			}
+		}
+		// TPCH gains the least from intra-request consideration: its ratio
+		// is below most other applications'.
+		above := 0
+		for name, a := range byApp {
+			if name == "tpch" {
+				continue
+			}
+			if a.WithIntra[m]/a.InterOnly[m] > tpchRatio {
+				above++
+			}
+		}
+		if above < 3 {
+			t.Errorf("metric %v: TPCH intra/inter ratio %.2f not among the lowest (only %d apps above)",
+				m, tpchRatio, above)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	r, err := Figure4(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Figure4App{}
+	for _, a := range r.Apps {
+		byApp[a.App] = a
+		// CDFs are monotone and end at ~1.
+		prev := 0.0
+		for _, v := range a.TimeCDF {
+			if v < prev-1e-9 {
+				t.Fatalf("%s: time CDF not monotone", a.App)
+			}
+			prev = v
+		}
+		if prev < 0.95 {
+			t.Errorf("%s: time CDF tops out at %.2f", a.App, prev)
+		}
+	}
+	// The paper's frequency ordering at 16 µs: web > tpch > rubis are all
+	// frequent; TPCC and WeBWorK are not.
+	if byApp["webserver"].At(16) < 0.80 {
+		t.Errorf("web P(syscall within 16us) = %.2f, want very high", byApp["webserver"].At(16))
+	}
+	if byApp["tpch"].At(16) < 0.6 {
+		t.Errorf("tpch P(16us) = %.2f, want high", byApp["tpch"].At(16))
+	}
+	if byApp["rubis"].At(16) < 0.5 {
+		t.Errorf("rubis P(16us) = %.2f, want moderately high", byApp["rubis"].At(16))
+	}
+	for _, slow := range []string{"tpcc", "webwork"} {
+		if v := byApp[slow].At(16); v > 0.5 {
+			t.Errorf("%s P(16us) = %.2f, should be low", slow, v)
+		}
+		// …but a system call within a millisecond is likely.
+		if v := byApp[slow].At(1024); v < 0.6 {
+			t.Errorf("%s P(1ms) = %.2f, want high", slow, v)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	r, err := Figure5(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Apps {
+		// Syscall-triggered sampling saves overhead at matched frequency
+		// (the paper: 18–38%; bounded by the 44% kernel/interrupt cost gap).
+		if a.Normalized >= 1.0 {
+			t.Errorf("%s: no overhead saving (normalized %.2f)", a.App, a.Normalized)
+		}
+		if a.Normalized < 0.5 {
+			t.Errorf("%s: saving %.2f exceeds the possible kernel-vs-interrupt gap",
+				a.App, 1-a.Normalized)
+		}
+		// Frequencies matched within a third.
+		ratio := float64(a.SyscallSamples) / float64(a.InterruptSamples)
+		if ratio < 0.6 || ratio > 1.4 {
+			t.Errorf("%s: sample frequency mismatch %.2f", a.App, ratio)
+		}
+	}
+	// The base cost ordering follows sampling granularity: web (10 µs)
+	// costs by far the most, TPCH/WeBWorK (1 ms) the least.
+	byApp := map[string]Figure5App{}
+	for _, a := range r.Apps {
+		byApp[a.App] = a
+	}
+	if byApp["webserver"].BaseCostPct < 2 {
+		t.Errorf("web base cost %.2f%%, want the largest (paper: 5.81%%)", byApp["webserver"].BaseCostPct)
+	}
+	if byApp["tpch"].BaseCostPct > 0.5 || byApp["webwork"].BaseCostPct > 0.5 {
+		t.Error("1 ms-sampled apps should have tiny base costs")
+	}
+	_ = r.String()
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r, err := Table2(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv, ok := r.Signal("writev")
+	if !ok || !wv.Increase() || wv.Mean < 2 {
+		t.Errorf("writev should signal a strong CPI increase, got %+v", wv)
+	}
+	for _, dec := range []string{"lseek", "stat", "open"} {
+		s, ok := r.Signal(dec)
+		if !ok || s.Increase() {
+			t.Errorf("%s should signal a CPI decrease, got %+v", dec, s)
+		}
+	}
+	for _, inc := range []string{"poll", "shutdown", "read"} {
+		s, ok := r.Signal(inc)
+		if !ok || !s.Increase() {
+			t.Errorf("%s should signal a CPI increase, got %+v", inc, s)
+		}
+	}
+	// writev must rank first by |mean| and be selected as a trigger.
+	if r.Signals[0].Name != "writev" {
+		t.Errorf("top signal = %s, want writev", r.Signals[0].Name)
+	}
+	found := false
+	for _, s := range r.Selected {
+		if s == "writev" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("writev not selected as a trigger")
+	}
+	// Targeted sampling captures at least as much variation at a similar
+	// sampling frequency (the paper: 0.60 -> 0.65).
+	if r.SignalCoV <= r.UniformCoV {
+		t.Errorf("signal-targeted CoV %.3f should exceed uniform %.3f", r.SignalCoV, r.UniformCoV)
+	}
+	_ = r.String()
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	r, err := Figure6(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drift example: L1 over-estimates relative to penalized DTW.
+	if r.Ratio <= 1.0 {
+		t.Errorf("L1/DTW ratio = %.2f, want > 1 (over-estimation)", r.Ratio)
+	}
+	if len(r.RequestA) == 0 || len(r.RequestB) == 0 {
+		t.Error("empty patterns")
+	}
+	_ = r.String()
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	r, err := Figure7(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Apps) != 5 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	const (
+		dtwPen = "DTW+asynchrony-penalty"
+		dtw    = "DTW-CPI-variations"
+		avg    = "average-CPI"
+		lev    = "levenshtein-syscalls"
+		l1     = "L1-CPI-variations"
+	)
+	// Averaged over applications (CPU-time panel): the paper's ordering —
+	// DTW with asynchrony penalty beats plain DTW, the software-only
+	// Levenshtein measure, and the average-value measure; L1 is close to
+	// penalized DTW.
+	if r.Mean(dtwPen, false) >= r.Mean(dtw, false) {
+		t.Errorf("penalized DTW (%.3f) should beat plain DTW (%.3f) on CPU time",
+			r.Mean(dtwPen, false), r.Mean(dtw, false))
+	}
+	if r.Mean(dtwPen, false) >= r.Mean(avg, false) {
+		t.Errorf("penalized DTW (%.3f) should beat average-CPI (%.3f) on CPU time",
+			r.Mean(dtwPen, false), r.Mean(avg, false))
+	}
+	if r.Mean(dtwPen, false) >= r.Mean(lev, false) {
+		t.Errorf("penalized DTW (%.3f) should beat Levenshtein (%.3f) on CPU time",
+			r.Mean(dtwPen, false), r.Mean(lev, false))
+	}
+	if r.Mean(l1, false) > 2.5*r.Mean(dtwPen, false)+0.02 {
+		t.Errorf("L1 (%.3f) should be competitive with penalized DTW (%.3f)",
+			r.Mean(l1, false), r.Mean(dtwPen, false))
+	}
+	// On the peak-CPI property, the average-CPI measure is competitive
+	// (strong correlation between average and peak CPI) — it must not be
+	// the worst there.
+	if r.Mean(avg, true) >= r.Mean(lev, true) {
+		t.Errorf("average-CPI (%.3f) should beat Levenshtein (%.3f) on peak CPI",
+			r.Mean(avg, true), r.Mean(lev, true))
+	}
+	_ = r.String()
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	r, err := Figure8(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Comparison
+	if c.Analysis.CPIExcess <= 0 {
+		t.Errorf("anomaly CPI excess = %.3f, want positive", c.Analysis.CPIExcess)
+	}
+	// The anomalous CPI pattern matches the L2 miss pattern.
+	if c.Analysis.MissCorrelation < 0.5 {
+		t.Errorf("CPI-vs-miss correlation = %.2f, want strong", c.Analysis.MissCorrelation)
+	}
+	if len(c.AnomalyCPI) == 0 || len(c.ReferenceCPI) == 0 {
+		t.Error("empty patterns")
+	}
+	_ = r.String()
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	r, err := Figure9(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Comparison
+	// Same-problem pairs share reference streams: refs/ins patterns agree
+	// within a few percent on average.
+	if c.Analysis.RefsExcess < 0.9 || c.Analysis.RefsExcess > 1.1 {
+		t.Errorf("refs/ins excess = %.3f, want ~1 (similar reference streams)", c.Analysis.RefsExcess)
+	}
+	if c.Analysis.CPIExcess < 0 {
+		t.Errorf("anomaly should not be faster than its reference: %.3f", c.Analysis.CPIExcess)
+	}
+	_ = r.String()
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	r, err := Figure10(Config{Seed: 1, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Apps) != 5 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	for _, a := range r.Apps {
+		if len(a.PatternErr) != 10 || len(a.AverageErr) != 10 {
+			t.Fatalf("%s: wrong step count", a.App)
+		}
+		for _, e := range append(append([]float64{}, a.PatternErr...), a.AverageErr...) {
+			if e < 0 || e > 1 {
+				t.Fatalf("%s: error out of range: %v", a.App, e)
+			}
+		}
+	}
+	// For the database-driven applications the variation signature beats
+	// the past-requests baseline clearly by full progress.
+	byApp := map[string]Figure10App{}
+	for _, a := range r.Apps {
+		byApp[a.App] = a
+	}
+	for _, name := range []string{"tpcc", "rubis"} {
+		a := byApp[name]
+		if a.FinalErr(true) >= a.PastErr {
+			t.Errorf("%s: variation signature (%.2f) should beat past-requests (%.2f)",
+				name, a.FinalErr(true), a.PastErr)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFigure11Shapes(t *testing.T) {
+	r, err := Figure11(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Apps) != 2 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	for _, a := range r.Apps {
+		// The best vaEWMA setting is the best predictor, or within a hair
+		// of it (the paper's last-value bars are close for WeBWorK, whose
+		// module phases outlast the sampling period).
+		bestVa := ""
+		for _, l := range a.Labels {
+			if strings.Contains(l, "vaEWMA") && (bestVa == "" || a.RMSE[l] < a.RMSE[bestVa]) {
+				bestVa = l
+			}
+		}
+		best := a.Best()
+		if a.RMSE[bestVa] > a.RMSE[best]*1.03 {
+			t.Errorf("%s: best vaEWMA (%.3e) not within 3%% of best %s (%.3e)",
+				a.App, a.RMSE[bestVa], best, a.RMSE[best])
+		}
+		// The request-average predictor must not beat the best vaEWMA.
+		if a.RMSE["request average"] <= a.RMSE[bestVa] {
+			t.Errorf("%s: request average (%.3e) beat vaEWMA (%.3e)",
+				a.App, a.RMSE["request average"], a.RMSE[bestVa])
+		}
+	}
+	_ = r.String()
+}
+
+func TestFigure12Shapes(t *testing.T) {
+	r, err := Figure12(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Apps) != 2 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	for _, a := range r.Apps {
+		// Proportions are sane and monotone by level.
+		for _, co := range []struct{ l2, l3, l4 float64 }{
+			{a.Original.AtLeast2, a.Original.AtLeast3, a.Original.All4},
+			{a.Eased.AtLeast2, a.Eased.AtLeast3, a.Eased.All4},
+		} {
+			if co.l2 < co.l3 || co.l3 < co.l4 {
+				t.Errorf("%s: co-execution proportions not monotone", a.App)
+			}
+		}
+	}
+	// TPCH: the most intensive contention (all four cores high) drops
+	// substantially under contention easing.
+	tpch := r.Apps[0]
+	if tpch.App != "tpch" {
+		t.Fatalf("first app = %s", tpch.App)
+	}
+	if tpch.Original.All4 > 0 && tpch.Reduction() < 0.1 {
+		t.Errorf("tpch 4-core-high reduction = %.2f, want substantial", tpch.Reduction())
+	}
+	_ = r.String()
+}
+
+func TestFigure13Shapes(t *testing.T) {
+	r, err := Figure13(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Apps {
+		// Summaries are ordered: average <= p99 <= p999.
+		for _, s := range []CPISummary{a.Original, a.Eased} {
+			if s.Average > s.P99 || s.P99 > s.P999 {
+				t.Errorf("%s: CPI summary not ordered: %+v", a.App, s)
+			}
+		}
+		// Contention easing does not meaningfully hurt the average…
+		if a.Eased.Average > a.Original.Average*1.05 {
+			t.Errorf("%s: average CPI regressed %.3f -> %.3f", a.App, a.Original.Average, a.Eased.Average)
+		}
+		// …and does not worsen the worst case.
+		if a.Eased.P999 > a.Original.P999*1.05 {
+			t.Errorf("%s: worst-case CPI regressed %.3f -> %.3f", a.App, a.Original.P999, a.Eased.P999)
+		}
+	}
+	_ = r.String()
+}

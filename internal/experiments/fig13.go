@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CPISummary is a request CPI population summary: the average and the
+// high-percentile worst cases Figure 13 plots.
+type CPISummary struct {
+	Average float64
+	P99     float64
+	P999    float64
+}
+
+// Figure13App compares request CPI under the original and contention-
+// easing schedulers for one application.
+type Figure13App struct {
+	App             string
+	Threshold       float64
+	Original, Eased CPISummary
+	Runs            int
+}
+
+// Figure13Result reproduces Figure 13: request CPI performance under
+// contention-easing CPU scheduling (lower is better); the paper's result is
+// a ~10% reduction of worst-case CPI with little change in the average.
+type Figure13Result struct {
+	Apps []Figure13App
+}
+
+// Figure13 runs the Figure 12 configurations and summarizes the pooled
+// per-request CPI populations.
+func Figure13(cfg Config) (*Figure13Result, error) {
+	out := &Figure13Result{}
+	apps := []workload.App{workload.NewTPCH(), workload.NewWeBWorK()}
+	for _, app := range apps {
+		n := cfg.schedRequests(app.Name())
+		calib, err := runTracked(cfg, app, 0, n)
+		if err != nil {
+			return nil, fmt.Errorf("figure13 %s calibration: %w", app.Name(), err)
+		}
+		threshold := sched.HighUsageThreshold(calib.Store, 80)
+
+		const runs = 3
+		var origCPI, easedCPI []float64
+		for r := 0; r < runs; r++ {
+			seed := cfg.Seed + int64(r)*101
+			o, err := core.Run(core.Options{
+				App: app, Requests: n, Sampling: core.DefaultSampling(app), Seed: seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure13 %s original: %w", app.Name(), err)
+			}
+			e, err := core.Run(core.Options{
+				App: app, Requests: n, Sampling: core.DefaultSampling(app),
+				Policy: core.PolicyContentionEasing, UsageThreshold: threshold, Seed: seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure13 %s eased: %w", app.Name(), err)
+			}
+			origCPI = append(origCPI, o.Store.MetricValues(metrics.CPI)...)
+			easedCPI = append(easedCPI, e.Store.MetricValues(metrics.CPI)...)
+		}
+		out.Apps = append(out.Apps, Figure13App{
+			App:       app.Name(),
+			Threshold: threshold,
+			Original:  summarizeCPI(origCPI),
+			Eased:     summarizeCPI(easedCPI),
+			Runs:      runs,
+		})
+	}
+	return out, nil
+}
+
+func summarizeCPI(xs []float64) CPISummary {
+	return CPISummary{
+		Average: stats.Mean(xs),
+		P99:     stats.Percentile(xs, 99),
+		P999:    stats.Percentile(xs, 99.9),
+	}
+}
+
+// WorstCaseReduction returns the relative 99.9-percentile CPI reduction.
+func (a Figure13App) WorstCaseReduction() float64 {
+	if a.Original.P999 == 0 {
+		return 0
+	}
+	return 1 - a.Eased.P999/a.Original.P999
+}
+
+// String renders the comparison.
+func (r *Figure13Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: request CPI under contention-easing scheduling\n")
+	for _, a := range r.Apps {
+		fmt.Fprintf(&b, "\n%s (%d runs):\n", a.App, a.Runs)
+		rows := [][]string{
+			{"average", fmt.Sprintf("%.3f", a.Original.Average), fmt.Sprintf("%.3f", a.Eased.Average)},
+			{"99 percentile", fmt.Sprintf("%.3f", a.Original.P99), fmt.Sprintf("%.3f", a.Eased.P99)},
+			{"99.9 percentile", fmt.Sprintf("%.3f", a.Original.P999), fmt.Sprintf("%.3f", a.Eased.P999)},
+		}
+		b.WriteString(table([]string{"CPI", "original", "contention easing"}, rows))
+		fmt.Fprintf(&b, "worst-case (p99.9) reduction: %.1f%%\n", a.WorstCaseReduction()*100)
+	}
+	return b.String()
+}

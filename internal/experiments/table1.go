@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table1Row is one measured sampling-cost configuration: a sampling
+// context × running microbenchmark pair.
+type Table1Row struct {
+	Context  string
+	Workload string
+	// TimeCostNs is the per-sample cost.
+	TimeCostNs float64
+	// Extra are the additional hardware events injected per sample.
+	Extra metrics.Counters
+}
+
+// Table1Result reproduces Table 1: per-sampling average cost and
+// additional event counts, for in-kernel and interrupt sampling contexts,
+// under the Mbench-Spin and Mbench-Data cache pollution extremes.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures the observer effect the way the paper does: run each
+// microbenchmark, take samples, and measure the cost and counter
+// perturbation each sample leaves behind. Back-to-back samples isolate a
+// single sample's own events, since sampling stalls application progress.
+func Table1(cfg Config) (*Table1Result, error) {
+	out := &Table1Result{}
+	benches := []workload.App{workload.NewMbenchSpin(), workload.NewMbenchData()}
+	contexts := []metrics.SampleContext{metrics.CtxKernel, metrics.CtxInterrupt}
+	for _, ctx := range contexts {
+		for _, mb := range benches {
+			row, err := measureObserver(cfg, mb, ctx)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s/%s: %w", ctx, mb.Name(), err)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func measureObserver(cfg Config, mb workload.App, ctx metrics.SampleContext) (Table1Row, error) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig())
+	k.AddWorkers(0, 1)
+	g := sim.ForkLabeled(cfg.Seed, "table1-"+mb.Name())
+	k.Submit(mb.NewRequest(1, g))
+
+	var total metrics.Counters
+	samples := 0
+	const measurements = 200
+	// Let the benchmark warm up, then take paired samples at intervals.
+	var step func()
+	step = func() {
+		if samples >= measurements {
+			eng.Stop()
+			return
+		}
+		a := k.Sample(0, ctx)
+		b := k.Sample(0, ctx)
+		total = total.Add(b.Sub(a))
+		samples++
+		eng.After(50*sim.Microsecond, step)
+	}
+	eng.After(100*sim.Microsecond, step)
+	eng.Run(2 * sim.Second)
+	if samples == 0 {
+		return Table1Row{}, fmt.Errorf("no samples taken")
+	}
+	n := uint64(samples)
+	avg := metrics.Counters{
+		Cycles:       total.Cycles / n,
+		Instructions: total.Instructions / n,
+		L2Refs:       total.L2Refs / n,
+		L2Misses:     total.L2Misses / n,
+	}
+	return Table1Row{
+		Context:    ctx.String(),
+		Workload:   mb.Name(),
+		TimeCostNs: float64(avg.Cycles) / 3.0, // 3 GHz
+		Extra:      avg,
+	}, nil
+}
+
+// String renders the table in the paper's layout.
+func (r *Table1Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		nm := func(v uint64) string {
+			if v == 0 {
+				return "N/M"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		rows = append(rows, []string{
+			row.Context, row.Workload,
+			fmt.Sprintf("%.2f us", row.TimeCostNs/1000),
+			fmt.Sprintf("%d", row.Extra.Cycles),
+			fmt.Sprintf("%d", row.Extra.Instructions),
+			nm(row.Extra.L2Refs),
+			nm(row.Extra.L2Misses),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Table 1: per-sampling average cost and additional event counts\n")
+	b.WriteString(table(
+		[]string{"context", "workload", "time cost", "cycles", "ins", "L2 ref", "L2 miss"},
+		rows))
+	return b.String()
+}

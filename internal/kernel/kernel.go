@@ -1,0 +1,300 @@
+// Package kernel simulates the operating system of the paper's testbed
+// (instrumented Linux 2.6.18): per-CPU runqueues with quantum-based
+// scheduling, context switches with cache-pollution costs, system call
+// dispatch, one-shot timer (APIC) interrupts, and — central to the paper —
+// request context tracking that follows a request across threads and server
+// processes through socket operations, so per-request hardware counter
+// periods can be attributed correctly.
+//
+// The kernel exposes the exact hook points the paper's sampling layer uses:
+// request context switches, system call entrances, and programmable timer
+// interrupts. The scheduling policy is pluggable; package sched provides the
+// contention-easing policy of Section 5.2.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the kernel.
+type Config struct {
+	// Machine is the hardware configuration.
+	Machine machine.Config
+	// Quantum is the scheduling timeslice (Linux 2.6.18 timeslices reach
+	// 100 ms; Section 5.2 shortens re-scheduling to 5 ms).
+	Quantum sim.Time
+	// SyscallCost is the per-system-call kernel work injected into the
+	// running request (trap, dispatch, copyin/out).
+	SyscallCost metrics.Counters
+	// CtxSwitchCost is the direct cost of a context switch (register and
+	// address-space switching), charged to the incoming thread.
+	CtxSwitchCost metrics.Counters
+	// PollutionOnSwitch charges the incoming thread the cache-refill cost
+	// of a context switch (machine.PollutionEvents). Disabling it is the
+	// ablation for the paper's concern that frequent re-scheduling's cache
+	// pollution can negate adaptive scheduling benefits.
+	PollutionOnSwitch bool
+	// Policy selects the scheduling policy; nil means round-robin FIFO.
+	Policy Policy
+}
+
+// DefaultConfig returns a Linux-2.6.18-like configuration on the paper's
+// hardware.
+func DefaultConfig() Config {
+	return Config{
+		Machine:           machine.DefaultConfig(),
+		Quantum:           100 * sim.Millisecond,
+		SyscallCost:       metrics.Counters{Cycles: 600, Instructions: 280, L2Refs: 4},
+		CtxSwitchCost:     metrics.Counters{Cycles: 1800, Instructions: 700, L2Refs: 12},
+		PollutionOnSwitch: true,
+	}
+}
+
+// ThreadState is a worker thread's scheduling state.
+type ThreadState int
+
+const (
+	// Idle means the worker has no request stage to run.
+	Idle ThreadState = iota
+	// Runnable means the thread waits on a runqueue.
+	Runnable
+	// Running means the thread is current on a core.
+	Running
+	// Blocked means the thread waits on I/O or on a downstream tier.
+	Blocked
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int(s))
+	}
+}
+
+// Thread is a server worker process/thread.
+type Thread struct {
+	ID    int
+	Tier  int
+	State ThreadState
+	// Run is the request execution the thread currently hosts (nil when
+	// idle).
+	Run *RequestRun
+	// core is the thread's home core (-1 before first placement). Threads
+	// do not migrate, matching the paper's scheduler.
+	core int
+	// resumePhase, while Blocked waiting for the request to come back to
+	// this tier, is the phase index at which this thread resumes.
+	resumePhase int
+}
+
+// Core returns the thread's home core, or -1 if unplaced.
+func (t *Thread) Core() int { return t.core }
+
+// RequestRun is the kernel-side execution state of one request: the
+// "request context" the paper's OS instrumentation maintains across CPU
+// context switches and inter-process propagation.
+type RequestRun struct {
+	Req *workload.Request
+	// Done is set when the request completes.
+	Done bool
+	// Submit, Start, and End are the request's lifecycle timestamps.
+	Submit, Start, End sim.Time
+
+	phase       int
+	insIntoRun  float64 // app instructions completed over the whole request
+	insInPhase  float64 // app instructions completed in the current phase
+	nextSyscall float64 // insInPhase position of the next within-phase syscall
+	syscallIdx  int     // cycles through Phase.Syscalls
+	entryPend   string  // syscall to issue before the current phase starts
+	phaseFresh  bool    // the current phase has not begun executing yet
+	started     bool
+	waiters     []*Thread // upstream threads blocked on this request
+}
+
+// Phase returns the currently executing phase index.
+func (r *RequestRun) Phase() int { return r.phase }
+
+// InstructionsDone reports the request's completed application instructions.
+func (r *RequestRun) InstructionsDone() float64 { return r.insIntoRun }
+
+// CurrentPhase returns the phase under execution, or nil after completion.
+func (r *RequestRun) CurrentPhase() *workload.Phase {
+	if r.phase >= len(r.Req.Phases) {
+		return nil
+	}
+	return &r.Req.Phases[r.phase]
+}
+
+// Hooks are the sampling layer's attachment points. Nil fields are skipped.
+// SwitchIn fires after the incoming request's activity is installed but
+// before context-switch costs are charged; SwitchOut fires before the
+// outgoing activity is removed — both are the paper's "request context
+// switch" sampling moments. Syscall fires at each system call's kernel
+// entrance.
+type Hooks struct {
+	SwitchIn    func(core int, run *RequestRun)
+	SwitchOut   func(core int, run *RequestRun)
+	Syscall     func(core int, run *RequestRun, name string)
+	RequestDone func(run *RequestRun)
+}
+
+type coreState struct {
+	id        int
+	runq      []*Thread
+	cur       *Thread
+	quantumEv *sim.Event
+	breakEv   *sim.Event
+	// syncedAppIns is the machine app-instruction count already folded
+	// into the current run's progress (reset with each SetActivity).
+	syncedAppIns float64
+}
+
+// Kernel is the simulated operating system instance.
+type Kernel struct {
+	eng   *sim.Engine
+	mach  *machine.Machine
+	cfg   Config
+	hooks Hooks
+
+	cores        []*coreState
+	idleWorkers  [][]*Thread // per tier
+	pendingStage [][]*RequestRun
+	nextThreadID int
+
+	doneFns []func(*RequestRun)
+	active  int // in-flight requests
+
+	// Stats counts scheduling events for overhead analysis.
+	Stats struct {
+		ContextSwitches uint64
+		Syscalls        uint64
+		Preemptions     uint64
+		KeptCurrent     uint64 // re-scheduling attempts that kept the current thread
+	}
+}
+
+// New builds a kernel and its machine on the engine.
+func New(eng *sim.Engine, cfg Config) *Kernel {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 100 * sim.Millisecond
+	}
+	k := &Kernel{
+		eng:  eng,
+		mach: machine.New(eng, cfg.Machine),
+		cfg:  cfg,
+	}
+	if k.cfg.Policy == nil {
+		k.cfg.Policy = RoundRobin{}
+	}
+	for i := 0; i < cfg.Machine.Cores; i++ {
+		k.cores = append(k.cores, &coreState{id: i})
+	}
+	k.mach.OnRateChange(k.onRateChange)
+	return k
+}
+
+// Engine returns the driving simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Machine returns the underlying hardware model.
+func (k *Kernel) Machine() *machine.Machine { return k.mach }
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// SetHooks installs the sampling layer's hooks. Must be called before the
+// simulation starts.
+func (k *Kernel) SetHooks(h Hooks) { k.hooks = h }
+
+// SetPolicy replaces the scheduling policy. Must be called before the
+// simulation starts (policies that depend on the sampling layer are built
+// after the kernel and installed here).
+func (k *Kernel) SetPolicy(p Policy) {
+	if p == nil {
+		p = RoundRobin{}
+	}
+	k.cfg.Policy = p
+}
+
+// AddWorkers creates n idle worker threads in the given tier.
+func (k *Kernel) AddWorkers(tier, n int) {
+	for len(k.idleWorkers) <= tier {
+		k.idleWorkers = append(k.idleWorkers, nil)
+		k.pendingStage = append(k.pendingStage, nil)
+	}
+	for i := 0; i < n; i++ {
+		t := &Thread{ID: k.nextThreadID, Tier: tier, State: Idle, core: -1}
+		k.nextThreadID++
+		k.idleWorkers[tier] = append(k.idleWorkers[tier], t)
+	}
+}
+
+// OnRequestDone registers a completion callback (load drivers use this).
+func (k *Kernel) OnRequestDone(fn func(*RequestRun)) {
+	k.doneFns = append(k.doneFns, fn)
+}
+
+// ActiveRequests reports the number of in-flight requests.
+func (k *Kernel) ActiveRequests() int { return k.active }
+
+// CurrentRun returns the request executing on the core, or nil.
+func (k *Kernel) CurrentRun(core int) *RequestRun {
+	if c := k.cores[core].cur; c != nil {
+		return c.Run
+	}
+	return nil
+}
+
+// Runqueue returns the core's queued (runnable, not running) threads.
+// The returned slice must not be modified.
+func (k *Kernel) Runqueue(core int) []*Thread { return k.cores[core].runq }
+
+// Submit injects a request into the system; it will be picked up by a
+// tier-0 worker (or queue for one).
+func (k *Kernel) Submit(req *workload.Request) *RequestRun {
+	if len(req.Phases) == 0 {
+		panic("kernel: Submit of request with no phases")
+	}
+	run := &RequestRun{
+		Req:         req,
+		Submit:      k.eng.Now(),
+		nextSyscall: math.Inf(1),
+		entryPend:   req.Phases[0].EntrySyscall,
+		phaseFresh:  true,
+	}
+	k.active++
+	k.startStage(run, req.Phases[0].Tier)
+	return run
+}
+
+// Sample reads the core's hardware counters in the given context, modelling
+// the observer effect, and keeps execution breakpoints consistent with the
+// sampling stall. This is the primitive the sampling layer builds on.
+func (k *Kernel) Sample(core int, ctx metrics.SampleContext) metrics.Counters {
+	snap, _ := k.mach.ReadCounters(core, ctx)
+	k.rescheduleBreak(k.cores[core])
+	return snap
+}
+
+// SetTimer schedules fn to run on the core in d nanoseconds, like a
+// CPU-local APIC one-shot timer. The returned event can be cancelled.
+func (k *Kernel) SetTimer(core int, d sim.Time, fn func()) *sim.Event {
+	return k.eng.After(d, fn)
+}
+
+// CancelTimer cancels a timer event.
+func (k *Kernel) CancelTimer(ev *sim.Event) { k.eng.Cancel(ev) }

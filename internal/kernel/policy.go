@@ -1,0 +1,43 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Policy is a pluggable CPU scheduling policy. At each scheduling
+// opportunity the kernel asks the policy to pick among candidate threads.
+//
+// When curIncluded is true the call is a re-scheduling attempt at quantum
+// expiry and candidates[0] is the currently running thread, kept at the
+// head so that choosing it resumes execution without any context switch
+// cost (Section 5.2's "keep the current request at the head of the local
+// runqueue" rule). When curIncluded is false the core is free and the
+// candidates are the runqueue in FIFO order.
+type Policy interface {
+	// Pick returns the index of the chosen candidate. Out-of-range values
+	// fall back to the head.
+	Pick(k *Kernel, core int, candidates []*Thread, curIncluded bool) int
+	// Quantum returns the interval between re-scheduling opportunities.
+	Quantum(k *Kernel) sim.Time
+}
+
+// RoundRobin is the default policy: FIFO runqueues with a fixed timeslice,
+// like the baseline Linux 2.6.18 scheduler the paper compares against.
+type RoundRobin struct {
+	// Timeslice overrides the kernel's configured quantum when positive.
+	Timeslice sim.Time
+}
+
+// Pick implements Policy.
+func (RoundRobin) Pick(_ *Kernel, _ int, candidates []*Thread, curIncluded bool) int {
+	if curIncluded && len(candidates) > 1 {
+		return 1 // preempt: next thread in FIFO order
+	}
+	return 0
+}
+
+// Quantum implements Policy.
+func (p RoundRobin) Quantum(k *Kernel) sim.Time {
+	if p.Timeslice > 0 {
+		return p.Timeslice
+	}
+	return k.cfg.Quantum
+}

@@ -1,0 +1,440 @@
+// Package machine models the multicore hardware of the paper's experimental
+// platform: two dual-core packages (four cores), each pair sharing an L2
+// cache, with per-core performance counter registers (non-halted cycles,
+// retired instructions, L2 references, L2 misses).
+//
+// The machine executes "activities" — fixed hardware characteristics (base
+// CPI, L2 references per instruction, solo miss ratio, working set) that the
+// workload layer derives from request phases. At any instant each core runs
+// at a constant rate determined by its activity and its co-runners (shared
+// cache capacity and memory bandwidth contention, see package cache); the
+// rate is recomputed whenever any core's activity changes. Between changes,
+// counters accrue linearly, so simulation cost is proportional to the number
+// of behavioral events rather than to instructions.
+//
+// Counter reads model the paper's observer effect (Table 1): each read
+// injects the sampling code's own cycles, instructions, and — for
+// cache-hungry workloads — L2 references into the hardware counters and
+// stalls application progress for the sampling cost.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Activity describes the inherent hardware characteristics of a stretch of
+// application execution (one workload phase, or a microbenchmark loop).
+type Activity struct {
+	// BaseCPI is the cycles per instruction absent all L2/memory stalls.
+	BaseCPI float64
+	// RefsPerIns is the L2 references issued per instruction.
+	RefsPerIns float64
+	// SoloMissRatio is the L2 miss ratio with the cache to itself.
+	SoloMissRatio float64
+	// WorkingSetBytes is the activity's cache footprint.
+	WorkingSetBytes float64
+}
+
+func (a *Activity) demand() *cache.Demand {
+	if a == nil {
+		return nil
+	}
+	return &cache.Demand{
+		RefsPerIns:      a.RefsPerIns,
+		SoloMissRatio:   a.SoloMissRatio,
+		WorkingSetBytes: a.WorkingSetBytes,
+	}
+}
+
+// ObserverConfig sets the cost and counter perturbation of one hardware
+// counter sample, per sampling context, matching the paper's Table 1.
+// The Extra* fields are the additional perturbation seen under full cache
+// pressure (Mbench-Data vs Mbench-Spin); actual injection scales them by
+// the running activity's cache pressure.
+type ObserverConfig struct {
+	KernelBase  metrics.Counters // in-kernel sample, minimum effect
+	KernelExtra metrics.Counters // additional at full cache pressure
+	IntrBase    metrics.Counters // interrupt sample, minimum effect
+	IntrExtra   metrics.Counters // additional at full cache pressure
+}
+
+// DefaultObserver returns Table 1's measured perturbations: an in-kernel
+// sample costs ~0.42 µs (1270 cycles, 649 instructions), an interrupt
+// sample ~0.76 µs (2276 cycles, 724 instructions); cache-polluting
+// workloads add ~100 cycles and ~13 L2 references per sample.
+func DefaultObserver() ObserverConfig {
+	return ObserverConfig{
+		KernelBase:  metrics.Counters{Cycles: 1270, Instructions: 649},
+		KernelExtra: metrics.Counters{Cycles: 104, L2Refs: 13},
+		IntrBase:    metrics.Counters{Cycles: 2276, Instructions: 724},
+		IntrExtra:   metrics.Counters{Cycles: 112, Instructions: 10, L2Refs: 12},
+	}
+}
+
+// Config describes the machine topology and cost model.
+type Config struct {
+	Cores           int
+	CoresPerPackage int
+	// CyclesPerNs is the clock rate (3.0 for the paper's 3 GHz Xeon 5160).
+	CyclesPerNs float64
+	Cache       cache.Config
+	Observer    ObserverConfig
+}
+
+// DefaultConfig returns the paper's platform: 4 cores, 2 packages, 3 GHz,
+// shared 4 MB L2 per package.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           4,
+		CoresPerPackage: 2,
+		CyclesPerNs:     3.0,
+		Cache:           cache.DefaultConfig(),
+		Observer:        DefaultObserver(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("machine: Cores must be positive, got %d", c.Cores)
+	}
+	if c.CoresPerPackage <= 0 || c.Cores%c.CoresPerPackage != 0 {
+		return fmt.Errorf("machine: Cores (%d) must be a multiple of CoresPerPackage (%d)",
+			c.Cores, c.CoresPerPackage)
+	}
+	if c.CyclesPerNs <= 0 {
+		return fmt.Errorf("machine: CyclesPerNs must be positive, got %v", c.CyclesPerNs)
+	}
+	return nil
+}
+
+// fcounters accrues counters in float64 to avoid per-slice rounding drift.
+type fcounters struct {
+	cycles, ins, refs, misses float64
+}
+
+func (f *fcounters) add(c metrics.Counters) {
+	f.cycles += float64(c.Cycles)
+	f.ins += float64(c.Instructions)
+	f.refs += float64(c.L2Refs)
+	f.misses += float64(c.L2Misses)
+}
+
+func (f *fcounters) snapshot() metrics.Counters {
+	return metrics.Counters{
+		Cycles:       uint64(f.cycles),
+		Instructions: uint64(f.ins),
+		L2Refs:       uint64(f.refs),
+		L2Misses:     uint64(f.misses),
+	}
+}
+
+// Rate is a core's current derived execution rate.
+type Rate struct {
+	// CPI is the effective cycles per application instruction.
+	CPI float64
+	// MissRatio is the effective L2 miss ratio under current co-runners.
+	MissRatio float64
+	// RefsPerIns mirrors the activity's reference rate.
+	RefsPerIns float64
+	// NsPerIns is virtual nanoseconds per application instruction.
+	NsPerIns float64
+}
+
+type core struct {
+	id, pkg    int
+	hw         fcounters
+	activity   *Activity
+	rate       Rate
+	appIns     float64  // application instructions completed in current activity
+	lastUpdate sim.Time // counters are accurate as of this instant
+	stallUntil sim.Time // no app progress before this (sampling/pollution stalls)
+}
+
+// Machine is the simulated multicore. It is single-threaded, like the
+// simulation engine that drives it.
+type Machine struct {
+	eng       *sim.Engine
+	cfg       Config
+	cores     []*core
+	listeners []func(core int)
+	// penaltyFactor is the current machine-wide bandwidth inflation.
+	penaltyFactor float64
+}
+
+// New builds a machine on the given engine. It panics on an invalid
+// configuration (a programming error, not a runtime condition).
+func New(eng *sim.Engine, cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{eng: eng, cfg: cfg, penaltyFactor: 1}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &core{id: i, pkg: i / cfg.CoresPerPackage})
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCores returns the number of cores.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Package returns the package index of a core.
+func (m *Machine) Package(coreID int) int { return m.cores[coreID].pkg }
+
+// OnRateChange registers fn to be called whenever a core's execution rate
+// changes because some activity on the machine changed. The kernel uses this
+// to reschedule pending execution breakpoints.
+func (m *Machine) OnRateChange(fn func(core int)) {
+	m.listeners = append(m.listeners, fn)
+}
+
+// advance accrues core c's counters up to the present.
+func (m *Machine) advance(c *core) {
+	now := m.eng.Now()
+	if now <= c.lastUpdate {
+		return
+	}
+	dt := now - c.lastUpdate
+	c.lastUpdate = now
+	if c.activity == nil {
+		return // halted: the non-halt cycle counter does not advance
+	}
+	// Stalled portion: time passes, cycles were already injected with the
+	// stall's events; no app progress.
+	if c.stallUntil > now-dt {
+		stallEnd := c.stallUntil
+		if stallEnd > now {
+			stallEnd = now
+		}
+		dt = now - stallEnd
+	}
+	if dt <= 0 {
+		return
+	}
+	ins := float64(dt) / c.rate.NsPerIns
+	c.appIns += ins
+	c.hw.cycles += ins * c.rate.CPI
+	c.hw.ins += ins
+	refs := ins * c.rate.RefsPerIns
+	c.hw.refs += refs
+	c.hw.misses += refs * c.rate.MissRatio
+}
+
+func (m *Machine) advanceAll() {
+	for _, c := range m.cores {
+		m.advance(c)
+	}
+}
+
+// recomputeRates derives every core's rate from the current activity set.
+// It must be called with all cores advanced to the present.
+func (m *Machine) recomputeRates() (changed []int) {
+	// Effective miss ratios per package.
+	miss := make([]float64, len(m.cores))
+	packages := m.cfg.Cores / m.cfg.CoresPerPackage
+	for p := 0; p < packages; p++ {
+		demands := make([]*cache.Demand, m.cfg.CoresPerPackage)
+		ids := make([]int, m.cfg.CoresPerPackage)
+		for j := 0; j < m.cfg.CoresPerPackage; j++ {
+			id := p*m.cfg.CoresPerPackage + j
+			ids[j] = id
+			demands[j] = m.cores[id].activity.demand()
+		}
+		ratios := cache.MissRatios(m.cfg.Cache, demands)
+		for j, id := range ids {
+			miss[id] = ratios[j]
+		}
+	}
+	// Machine-wide bandwidth pressure.
+	var traffic float64
+	for i, c := range m.cores {
+		if c.activity != nil {
+			traffic += c.activity.RefsPerIns * miss[i]
+		}
+	}
+	m.penaltyFactor = cache.PenaltyFactor(m.cfg.Cache, traffic)
+	for i, c := range m.cores {
+		old := c.rate
+		if c.activity == nil {
+			c.rate = Rate{}
+		} else {
+			cpi := cache.CPI(m.cfg.Cache, c.activity.BaseCPI, c.activity.RefsPerIns,
+				miss[i], m.penaltyFactor)
+			c.rate = Rate{
+				CPI:        cpi,
+				MissRatio:  miss[i],
+				RefsPerIns: c.activity.RefsPerIns,
+				NsPerIns:   cpi / m.cfg.CyclesPerNs,
+			}
+		}
+		if c.rate != old {
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// SetActivity installs a new activity on a core (nil for idle). Application
+// instruction progress for the core resets to zero. All affected cores'
+// rates are recomputed and rate-change listeners fire for each core whose
+// rate changed (other than the core being set, whose caller already knows).
+func (m *Machine) SetActivity(coreID int, a *Activity) {
+	m.advanceAll()
+	c := m.cores[coreID]
+	c.activity = a
+	c.appIns = 0
+	changed := m.recomputeRates()
+	for _, id := range changed {
+		if id == coreID {
+			continue
+		}
+		for _, fn := range m.listeners {
+			fn(id)
+		}
+	}
+}
+
+// Activity returns the core's current activity (nil when idle).
+func (m *Machine) Activity(coreID int) *Activity { return m.cores[coreID].activity }
+
+// Rate returns the core's current execution rate.
+func (m *Machine) Rate(coreID int) Rate { return m.cores[coreID].rate }
+
+// PenaltyFactor returns the current machine-wide memory penalty inflation.
+func (m *Machine) PenaltyFactor() float64 { return m.penaltyFactor }
+
+// AppInstructions reports how many application instructions the core has
+// completed in its current activity, as of now.
+func (m *Machine) AppInstructions(coreID int) float64 {
+	c := m.cores[coreID]
+	m.advance(c)
+	return c.appIns
+}
+
+// TimeToReach returns how long from now until the core's application
+// instruction count reaches target, at the current rate. ok is false when
+// the core is idle or the target is already reached.
+func (m *Machine) TimeToReach(coreID int, target float64) (d sim.Time, ok bool) {
+	c := m.cores[coreID]
+	m.advance(c)
+	if c.activity == nil || target <= c.appIns {
+		return 0, false
+	}
+	ns := (target - c.appIns) * c.rate.NsPerIns
+	d = sim.Time(ns + 0.999) // round up so the breakpoint is not early
+	if stall := c.stallUntil - m.eng.Now(); stall > 0 {
+		d += stall
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d, true
+}
+
+// Inject adds events to the core's hardware counters and stalls application
+// progress for the corresponding cycles (kernel code executing on the core:
+// sampling, syscall work, context-switch pollution). It returns the stall
+// duration so callers can delay subsequent breakpoints.
+func (m *Machine) Inject(coreID int, ev metrics.Counters) sim.Time {
+	c := m.cores[coreID]
+	m.advance(c)
+	c.hw.add(ev)
+	d := sim.Time(float64(ev.Cycles) / m.cfg.CyclesPerNs)
+	now := m.eng.Now()
+	if c.stallUntil < now {
+		c.stallUntil = now
+	}
+	c.stallUntil += d
+	return d
+}
+
+// observerEvents computes the injected perturbation of one sample on a core,
+// scaling the pressure-dependent extra by the running activity's cache
+// footprint (Mbench-Spin → none, Mbench-Data → full).
+func (m *Machine) observerEvents(c *core, ctx metrics.SampleContext) metrics.Counters {
+	var base, extra metrics.Counters
+	switch ctx {
+	case metrics.CtxKernel:
+		base, extra = m.cfg.Observer.KernelBase, m.cfg.Observer.KernelExtra
+	case metrics.CtxInterrupt:
+		base, extra = m.cfg.Observer.IntrBase, m.cfg.Observer.IntrExtra
+	default:
+		panic(fmt.Sprintf("machine: unknown sample context %v", ctx))
+	}
+	pressure := 0.0
+	if c.activity != nil && m.cfg.Cache.CapacityBytes > 0 {
+		pressure = c.activity.WorkingSetBytes / m.cfg.Cache.CapacityBytes
+		if pressure > 1 {
+			pressure = 1
+		}
+	}
+	scaled := metrics.Counters{
+		Cycles:       uint64(float64(extra.Cycles) * pressure),
+		Instructions: uint64(float64(extra.Instructions) * pressure),
+		L2Refs:       uint64(float64(extra.L2Refs) * pressure),
+		L2Misses:     uint64(float64(extra.L2Misses) * pressure),
+	}
+	return base.Add(scaled)
+}
+
+// ReadCounters samples the core's counter registers in the given context.
+// It returns the pre-sample snapshot and injects the sample's observer
+// effect (which lands in the next measured period, to be compensated by the
+// sampling layer), returning also the sampling stall duration.
+func (m *Machine) ReadCounters(coreID int, ctx metrics.SampleContext) (metrics.Counters, sim.Time) {
+	c := m.cores[coreID]
+	m.advance(c)
+	snap := c.hw.snapshot()
+	cost := m.Inject(coreID, m.observerEvents(c, ctx))
+	return snap, cost
+}
+
+// PeekCounters returns the counters without any observer effect. This is
+// the simulation's omniscient view, unavailable on real hardware; it exists
+// for tests and ground-truth validation only.
+func (m *Machine) PeekCounters(coreID int) metrics.Counters {
+	c := m.cores[coreID]
+	m.advance(c)
+	return c.hw.snapshot()
+}
+
+// ObserverEventsFor exposes the perturbation a sample would inject right
+// now, used by the sampling layer's compensation tables and by Table 1.
+func (m *Machine) ObserverEventsFor(coreID int, ctx metrics.SampleContext) metrics.Counters {
+	return m.observerEvents(m.cores[coreID], ctx)
+}
+
+// MinObserverEvents returns the minimum (Mbench-Spin) perturbation per
+// sample for a context — the amount the paper's "do no harm" compensation
+// subtracts.
+func (m *Machine) MinObserverEvents(ctx metrics.SampleContext) metrics.Counters {
+	switch ctx {
+	case metrics.CtxKernel:
+		return m.cfg.Observer.KernelBase
+	case metrics.CtxInterrupt:
+		return m.cfg.Observer.IntrBase
+	default:
+		panic(fmt.Sprintf("machine: unknown sample context %v", ctx))
+	}
+}
+
+// PollutionEvents returns the counter events of a context-switch cache
+// refill for an incoming activity, ready to Inject.
+func (m *Machine) PollutionEvents(a *Activity) metrics.Counters {
+	if a == nil {
+		return metrics.Counters{}
+	}
+	cycles, refs, misses := cache.PollutionCost(m.cfg.Cache, a.WorkingSetBytes, m.penaltyFactor)
+	return metrics.Counters{
+		Cycles:   uint64(cycles),
+		L2Refs:   uint64(refs),
+		L2Misses: uint64(misses),
+	}
+}

@@ -1,0 +1,18 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+)
+
+// The paper's Equation 5: the variable-aging EWMA weighs each observation
+// by its period length, so one long observation moves the estimate as much
+// as many short ones.
+func ExampleVaEWMA() {
+	p := predict.NewVaEWMA(0.5, 1.0) // gain 0.5, unit length 1
+	p.Observe(8, 1)                  // seeds the estimate
+	p.Observe(0, 2)                  // a double-length observation: weight 0.5^2
+	fmt.Printf("%.1f\n", p.Predict())
+	// Output: 2.0
+}

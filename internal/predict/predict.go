@@ -1,0 +1,153 @@
+// Package predict implements the online request behavior predictors of
+// Section 5.1: the running request average, the last-value predictor, the
+// classic exponentially weighted moving average (EWMA), and the paper's
+// variable-aging vaEWMA filter (Equation 5), which ages past samples in
+// proportion to each new observation's duration — necessary because
+// samples collected at request context switches and system calls have
+// widely varying lengths.
+package predict
+
+import "math"
+
+// Predictor estimates the target metric value for the coming execution
+// period from past observations.
+type Predictor interface {
+	// Observe feeds a completed period: its metric value and its length
+	// (time or instructions, any consistent unit).
+	Observe(value, length float64)
+	// Predict returns the estimate for the next period.
+	Predict() float64
+	// Reset clears state for a new request.
+	Reset()
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// LastValue predicts the next period's value as the last period's — the
+// short-term-stability assumption.
+type LastValue struct {
+	last float64
+	seen bool
+}
+
+// NewLastValue returns a LastValue predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Name implements Predictor.
+func (*LastValue) Name() string { return "last value" }
+
+// Observe implements Predictor.
+func (p *LastValue) Observe(value, _ float64) { p.last, p.seen = value, true }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict() float64 { return p.last }
+
+// Reset implements Predictor.
+func (p *LastValue) Reset() { *p = LastValue{} }
+
+// RequestAverage predicts using the cumulative length-weighted average from
+// the request beginning — the no-variation assumption.
+type RequestAverage struct {
+	sum, weight float64
+}
+
+// NewRequestAverage returns a RequestAverage predictor.
+func NewRequestAverage() *RequestAverage { return &RequestAverage{} }
+
+// Name implements Predictor.
+func (*RequestAverage) Name() string { return "request average" }
+
+// Observe implements Predictor.
+func (p *RequestAverage) Observe(value, length float64) {
+	if length <= 0 {
+		return
+	}
+	p.sum += value * length
+	p.weight += length
+}
+
+// Predict implements Predictor.
+func (p *RequestAverage) Predict() float64 {
+	if p.weight == 0 {
+		return 0
+	}
+	return p.sum / p.weight
+}
+
+// Reset implements Predictor.
+func (p *RequestAverage) Reset() { *p = RequestAverage{} }
+
+// EWMA is the basic filter E_k = α·E_{k−1} + (1−α)·O_k (Equation 4), as
+// used for TCP round-trip estimation. It assumes each sample ages previous
+// samples equally, regardless of the sample's length.
+type EWMA struct {
+	// Alpha is the gain: stability (high) vs agility (low).
+	Alpha float64
+
+	est  float64
+	seen bool
+}
+
+// NewEWMA returns an EWMA filter with gain alpha.
+func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
+
+// Name implements Predictor.
+func (*EWMA) Name() string { return "EWMA" }
+
+// Observe implements Predictor.
+func (p *EWMA) Observe(value, _ float64) {
+	if !p.seen {
+		p.est, p.seen = value, true
+		return
+	}
+	p.est = p.Alpha*p.est + (1-p.Alpha)*value
+}
+
+// Predict implements Predictor.
+func (p *EWMA) Predict() float64 { return p.est }
+
+// Reset implements Predictor.
+func (p *EWMA) Reset() { p.est, p.seen = 0, false }
+
+// VaEWMA is the paper's variable-aging filter (Equation 5):
+//
+//	E_k = α^(t_k/t̂) · E_{k−1} + (1 − α^(t_k/t̂)) · O_k
+//
+// where t_k is observation k's length and t̂ the unit length, so a long
+// observation ages history more than a short one.
+type VaEWMA struct {
+	// Alpha is the gain parameter (the paper settles on 0.6).
+	Alpha float64
+	// UnitLength is t̂ (the paper uses 1 ms with time-length samples).
+	UnitLength float64
+
+	est  float64
+	seen bool
+}
+
+// NewVaEWMA returns a variable-aging EWMA filter.
+func NewVaEWMA(alpha, unitLength float64) *VaEWMA {
+	return &VaEWMA{Alpha: alpha, UnitLength: unitLength}
+}
+
+// Name implements Predictor.
+func (*VaEWMA) Name() string { return "vaEWMA" }
+
+// Observe implements Predictor.
+func (p *VaEWMA) Observe(value, length float64) {
+	if !p.seen {
+		p.est, p.seen = value, true
+		return
+	}
+	if length < 0 {
+		length = 0
+	}
+	w := math.Pow(p.Alpha, length/p.UnitLength)
+	p.est = w*p.est + (1-w)*value
+}
+
+// Predict implements Predictor.
+func (p *VaEWMA) Predict() float64 { return p.est }
+
+// Reset implements Predictor.
+func (p *VaEWMA) Reset() { p.est, p.seen = 0, false }

@@ -1,0 +1,159 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLastValue(t *testing.T) {
+	p := NewLastValue()
+	if p.Predict() != 0 {
+		t.Fatal("fresh predictor should predict 0")
+	}
+	p.Observe(3, 1)
+	p.Observe(7, 100)
+	if p.Predict() != 7 {
+		t.Fatalf("Predict = %v, want 7", p.Predict())
+	}
+	p.Reset()
+	if p.Predict() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestRequestAverage(t *testing.T) {
+	p := NewRequestAverage()
+	p.Observe(2, 10)
+	p.Observe(4, 30)
+	if got := p.Predict(); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("weighted average = %v, want 3.5", got)
+	}
+	p.Observe(99, 0) // zero-length observation is ignored
+	if got := p.Predict(); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("zero-length observation changed estimate: %v", got)
+	}
+}
+
+func TestEWMAConvergesAndSmoothes(t *testing.T) {
+	p := NewEWMA(0.6)
+	p.Observe(10, 1)
+	if p.Predict() != 10 {
+		t.Fatal("first observation should seed the estimate")
+	}
+	p.Observe(0, 1)
+	// E = 0.6*10 + 0.4*0 = 6.
+	if got := p.Predict(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("EWMA = %v, want 6", got)
+	}
+	// Converges to a constant signal.
+	for i := 0; i < 200; i++ {
+		p.Observe(5, 1)
+	}
+	if got := p.Predict(); math.Abs(got-5) > 1e-6 {
+		t.Fatalf("EWMA did not converge: %v", got)
+	}
+}
+
+func TestVaEWMAUnitLengthMatchesEWMA(t *testing.T) {
+	e := NewEWMA(0.6)
+	v := NewVaEWMA(0.6, 1)
+	vals := []float64{3, 8, 1, 9, 4}
+	for _, x := range vals {
+		e.Observe(x, 1)
+		v.Observe(x, 1) // unit-length observations
+	}
+	if math.Abs(e.Predict()-v.Predict()) > 1e-12 {
+		t.Fatalf("vaEWMA with unit lengths %v != EWMA %v", v.Predict(), e.Predict())
+	}
+}
+
+func TestVaEWMALongObservationAgesMore(t *testing.T) {
+	short := NewVaEWMA(0.6, 1)
+	long := NewVaEWMA(0.6, 1)
+	short.Observe(10, 1)
+	long.Observe(10, 1)
+	// A long new observation should pull the estimate further toward it.
+	short.Observe(0, 0.5)
+	long.Observe(0, 5)
+	if long.Predict() >= short.Predict() {
+		t.Fatalf("long observation aged less: long=%v short=%v",
+			long.Predict(), short.Predict())
+	}
+}
+
+func TestVaEWMAEquationForm(t *testing.T) {
+	// E_k = α^(t/t̂)·E_{k−1} + (1−α^(t/t̂))·O_k, α=0.5, t̂=1, t=2 → w=0.25.
+	p := NewVaEWMA(0.5, 1)
+	p.Observe(8, 1)
+	p.Observe(0, 2)
+	want := 0.25 * 8.0
+	if got := p.Predict(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("vaEWMA = %v, want %v", got, want)
+	}
+}
+
+func TestPredictorsBoundedByObservationsProperty(t *testing.T) {
+	// All predictors' estimates stay within the observed value range.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ps := []Predictor{NewLastValue(), NewRequestAverage(), NewEWMA(0.6), NewVaEWMA(0.6, 1)}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 1+r.Intn(50); i++ {
+			v := r.Float64() * 10
+			l := 0.1 + r.Float64()*5
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+			for _, p := range ps {
+				p.Observe(v, l)
+			}
+		}
+		for _, p := range ps {
+			if est := p.Predict(); est < lo-1e-9 || est > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVaEWMATracksRegimeChangesBetterThanAverage(t *testing.T) {
+	// A signal with a regime change: the average predictor lags badly, the
+	// vaEWMA adapts — the reason Figure 11 favors it.
+	va := NewVaEWMA(0.6, 1)
+	avg := NewRequestAverage()
+	for i := 0; i < 50; i++ {
+		va.Observe(1, 1)
+		avg.Observe(1, 1)
+	}
+	for i := 0; i < 10; i++ {
+		va.Observe(9, 1)
+		avg.Observe(9, 1)
+	}
+	errVa := math.Abs(va.Predict() - 9)
+	errAvg := math.Abs(avg.Predict() - 9)
+	if errVa >= errAvg {
+		t.Fatalf("vaEWMA (%v) should adapt faster than average (%v)", errVa, errAvg)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewLastValue().Name() == "" || NewRequestAverage().Name() == "" ||
+		NewEWMA(0.5).Name() == "" || NewVaEWMA(0.5, 1).Name() == "" {
+		t.Fatal("empty predictor name")
+	}
+}
+
+func TestResets(t *testing.T) {
+	ps := []Predictor{NewLastValue(), NewRequestAverage(), NewEWMA(0.6), NewVaEWMA(0.6, 1)}
+	for _, p := range ps {
+		p.Observe(5, 1)
+		p.Reset()
+		if p.Predict() != 0 {
+			t.Fatalf("%s Reset did not clear", p.Name())
+		}
+	}
+}

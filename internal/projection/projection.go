@@ -1,0 +1,149 @@
+// Package projection implements the paper's first future-work direction
+// (Section 7): using the characterized request workload as input to a
+// performance model that predicts request resource consumption on a new
+// hardware platform.
+//
+// A request trace carries, per period, the measured CPI, L2 references per
+// instruction, and L2 miss ratio on the source platform. Projection inverts
+// the source platform's cost model per period to recover the
+// platform-independent base CPI (the cycles the instruction stream needs
+// absent cache/memory stalls), then re-applies the target platform's cost
+// model: different hit latency, miss penalty, clock rate, and — through a
+// capacity-sensitivity heuristic — L2 size. Fine-grained behavior variation
+// patterns make this per-period rather than whole-request, which is exactly
+// why the paper argues variation patterns help projection: periods with
+// different memory intensities scale differently across platforms.
+package projection
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Platform describes the hardware a trace is measured on or projected to.
+type Platform struct {
+	Cache cache.Config
+	// CyclesPerNs is the clock rate.
+	CyclesPerNs float64
+}
+
+// FromMachine extracts the platform parameters of a machine configuration.
+func FromMachine(cfg machine.Config) Platform {
+	return Platform{Cache: cfg.Cache, CyclesPerNs: cfg.CyclesPerNs}
+}
+
+// Projector maps request traces from a source to a target platform.
+type Projector struct {
+	Source, Target Platform
+	// CapacitySensitivity shapes how the L2 miss ratio responds to a
+	// capacity change: missTarget = missSource × (capS/capT)^sensitivity,
+	// clamped to [0,1]. 0 means capacity-insensitive (streaming); 1 means
+	// fully capacity-bound. The default 0.5 is a neutral middle.
+	CapacitySensitivity float64
+}
+
+// New returns a projector with the default capacity sensitivity.
+func New(source, target Platform) *Projector {
+	return &Projector{Source: source, Target: target, CapacitySensitivity: 0.5}
+}
+
+// Result is a projected request execution.
+type Result struct {
+	// CPI is the projected whole-request cycles per instruction.
+	CPI float64
+	// CPUTimeNs is the projected CPU time.
+	CPUTimeNs float64
+	// SpeedUp is source CPU time / projected CPU time (>1 = faster).
+	SpeedUp float64
+	// PeriodCPI is the projected per-period CPI series (aligned with the
+	// trace's periods that carried instructions).
+	PeriodCPI []float64
+}
+
+// missOnTarget scales a measured miss ratio to the target capacity.
+func (p *Projector) missOnTarget(miss float64) float64 {
+	capS, capT := p.Source.Cache.CapacityBytes, p.Target.Cache.CapacityBytes
+	if capS <= 0 || capT <= 0 || capS == capT {
+		return miss
+	}
+	// Power-law capacity response.
+	scaled := miss * math.Pow(capS/capT, p.CapacitySensitivity)
+	if scaled > 1 {
+		scaled = 1
+	}
+	if scaled < 0 {
+		scaled = 0
+	}
+	return scaled
+}
+
+// PeriodCPI projects one measured period's CPI onto the target platform.
+// The period must have instructions; zero-instruction periods return 0.
+func (p *Projector) PeriodCPI(c metrics.Counters) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	cpiS := c.Value(metrics.CPI)
+	refs := c.Value(metrics.L2RefsPerIns)
+	missS := c.Value(metrics.L2MissRatio)
+	// Invert the source cost model: base = CPI − hit − miss contributions.
+	base := cpiS - cache.CPI(p.Source.Cache, 0, refs, missS, 1)
+	if base < 0.1 {
+		base = 0.1 // measured period dominated by effects the model cannot separate
+	}
+	missT := p.missOnTarget(missS)
+	return cache.CPI(p.Target.Cache, base, refs, missT, 1)
+}
+
+// Project maps a whole request trace onto the target platform.
+func (p *Projector) Project(tr *trace.Request) Result {
+	var cycles, ins float64
+	var series []float64
+	for _, period := range tr.Periods {
+		if period.C.Instructions == 0 {
+			continue
+		}
+		cpi := p.PeriodCPI(period.C)
+		n := float64(period.C.Instructions)
+		cycles += cpi * n
+		ins += n
+		series = append(series, cpi)
+	}
+	if ins == 0 {
+		return Result{}
+	}
+	cpi := cycles / ins
+	cpuNs := cycles / p.Target.CyclesPerNs
+	src := float64(tr.CPUTime())
+	speedup := 0.0
+	if cpuNs > 0 {
+		speedup = src / cpuNs
+	}
+	return Result{CPI: cpi, CPUTimeNs: cpuNs, SpeedUp: speedup, PeriodCPI: series}
+}
+
+// ProjectAll projects every trace in a store and returns the results in
+// order.
+func (p *Projector) ProjectAll(traces []*trace.Request) []Result {
+	out := make([]Result, len(traces))
+	for i, tr := range traces {
+		out[i] = p.Project(tr)
+	}
+	return out
+}
+
+// Validate reports an error for non-positive target parameters.
+func (p *Projector) Validate() error {
+	if p.Target.CyclesPerNs <= 0 {
+		return fmt.Errorf("projection: target clock rate must be positive")
+	}
+	if p.Target.Cache.CapacityBytes <= 0 {
+		return fmt.Errorf("projection: target cache capacity must be positive")
+	}
+	return nil
+}

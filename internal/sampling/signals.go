@@ -1,0 +1,97 @@
+package sampling
+
+import (
+	"math"
+	"sort"
+)
+
+// SignalStat summarizes one system call name's correlation with behavior
+// transitions: the mean and standard deviation of the target metric's
+// change over the periods before and after the call's occurrences — the
+// rows of the paper's Table 2.
+type SignalStat struct {
+	Name string
+	Mean float64
+	Std  float64
+	N    int
+}
+
+// Increase reports whether the call signals a metric increase on average.
+func (s SignalStat) Increase() bool { return s.Mean >= 0 }
+
+// welford maintains an online mean/variance (Welford's algorithm), the
+// "continuously maintain the average and standard deviation" the paper
+// describes for online training.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// SignalTrainer learns, per system call name, the distribution of
+// subsequent metric changes during an online training run.
+type SignalTrainer struct {
+	stats map[string]*welford
+}
+
+// NewSignalTrainer returns an empty trainer.
+func NewSignalTrainer() *SignalTrainer {
+	return &SignalTrainer{stats: map[string]*welford{}}
+}
+
+// Record adds one observed before→after metric change for a call name.
+func (t *SignalTrainer) Record(name string, delta float64) {
+	w := t.stats[name]
+	if w == nil {
+		w = &welford{}
+		t.stats[name] = w
+	}
+	w.add(delta)
+}
+
+// Stats returns per-name statistics ordered by decreasing |mean| change —
+// Table 2's presentation order (most significant transition signals first).
+func (t *SignalTrainer) Stats() []SignalStat {
+	out := make([]SignalStat, 0, len(t.stats))
+	for name, w := range t.stats {
+		out = append(out, SignalStat{Name: name, Mean: w.mean, Std: w.std(), N: w.n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].Mean), math.Abs(out[j].Mean)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Select returns the k call names most correlated with behavior transitions
+// (largest |mean| change, requiring a minimum number of observations), as a
+// trigger set for SignalTriggered sampling.
+func (t *SignalTrainer) Select(k, minObservations int) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range t.Stats() {
+		if len(out) >= k {
+			break
+		}
+		if s.N >= minObservations {
+			out[s.Name] = true
+		}
+	}
+	return out
+}

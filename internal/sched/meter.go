@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// CoExecutionMeter measures the proportion of time during which multiple
+// cores simultaneously execute at high resource usage levels — the
+// evaluation metric of Figure 12. It polls the machine's ground-truth
+// per-core execution rates (the simulation's omniscient view; the paper
+// measures the same with offline counter analysis).
+type CoExecutionMeter struct {
+	k         *kernel.Kernel
+	threshold float64
+	interval  sim.Time
+
+	samples int
+	ge2     int
+	ge3     int
+	all4    int
+	stopped bool
+}
+
+// NewCoExecutionMeter starts polling the kernel every interval. Stop it
+// before reading results.
+func NewCoExecutionMeter(k *kernel.Kernel, threshold float64, interval sim.Time) *CoExecutionMeter {
+	m := &CoExecutionMeter{k: k, threshold: threshold, interval: interval}
+	k.Engine().After(interval, m.tick)
+	return m
+}
+
+func (m *CoExecutionMeter) tick() {
+	if m.stopped {
+		return
+	}
+	mach := m.k.Machine()
+	busyHigh := 0
+	executing := 0
+	for c := 0; c < mach.NumCores(); c++ {
+		if m.k.CurrentRun(c) == nil {
+			continue
+		}
+		executing++
+		r := mach.Rate(c)
+		if r.RefsPerIns*r.MissRatio >= m.threshold {
+			busyHigh++
+		}
+	}
+	if executing > 0 {
+		m.samples++
+		if busyHigh >= 2 {
+			m.ge2++
+		}
+		if busyHigh >= 3 {
+			m.ge3++
+		}
+		if busyHigh >= 4 {
+			m.all4++
+		}
+	}
+	m.k.Engine().After(m.interval, m.tick)
+}
+
+// Stop halts polling.
+func (m *CoExecutionMeter) Stop() { m.stopped = true }
+
+// Result returns the measured co-execution proportions.
+func (m *CoExecutionMeter) Result() HighUsageCoExecution {
+	if m.samples == 0 {
+		return HighUsageCoExecution{}
+	}
+	n := float64(m.samples)
+	return HighUsageCoExecution{
+		AtLeast2: float64(m.ge2) / n,
+		AtLeast3: float64(m.ge3) / n,
+		All4:     float64(m.all4) / n,
+	}
+}

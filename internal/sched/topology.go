@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// TopologyAware extends the paper's contention-easing policy with shared-
+// cache topology knowledge. The paper's policy reacts to high usage on
+// *any* other core, but capacity contention happens between cores sharing
+// an L2 package; this variant (an extension beyond the paper, motivated by
+// its future-work discussion of finer resource management) weighs the
+// package-local neighbor most and treats remote-package high usage only as
+// a bandwidth concern.
+type TopologyAware struct {
+	// Monitor provides online usage predictions.
+	Monitor *Monitor
+	// Threshold is the high-usage boundary (see HighUsageThreshold).
+	Threshold float64
+	// BandwidthThreshold is the machine-wide sum of predicted misses per
+	// instruction above which even remote-package co-execution is avoided.
+	BandwidthThreshold float64
+	// RescheduleInterval mirrors ContentionEasing's 5 ms default.
+	RescheduleInterval sim.Time
+
+	// Stats counts policy decisions.
+	Stats struct {
+		Opportunities uint64
+		EasedLocal    uint64 // avoided a same-package high co-runner
+		EasedGlobal   uint64 // avoided machine-wide bandwidth pressure
+		GaveUp        uint64
+	}
+}
+
+// NewTopologyAware builds the policy; the bandwidth threshold defaults to
+// twice the per-core threshold (two cores' worth of high traffic).
+func NewTopologyAware(m *Monitor, threshold float64) *TopologyAware {
+	return &TopologyAware{
+		Monitor:            m,
+		Threshold:          threshold,
+		BandwidthThreshold: 2 * threshold,
+		RescheduleInterval: 5 * sim.Millisecond,
+	}
+}
+
+// Quantum implements kernel.Policy.
+func (p *TopologyAware) Quantum(*kernel.Kernel) sim.Time {
+	if p.RescheduleInterval > 0 {
+		return p.RescheduleInterval
+	}
+	return 5 * sim.Millisecond
+}
+
+// Pick implements kernel.Policy.
+func (p *TopologyAware) Pick(k *kernel.Kernel, core int, cands []*kernel.Thread, curIncluded bool) int {
+	if len(cands) > 1 {
+		p.Stats.Opportunities++
+	}
+	mach := k.Machine()
+	myPkg := mach.Package(core)
+
+	// Package-local pressure: a same-package sibling in a high-usage
+	// period is the direct capacity competitor.
+	localHigh := false
+	var totalPredicted float64
+	for c := 0; c < mach.NumCores(); c++ {
+		if c == core {
+			continue
+		}
+		run := k.CurrentRun(c)
+		if run == nil {
+			continue
+		}
+		pred := p.Monitor.Predicted(run)
+		totalPredicted += pred
+		if pred >= p.Threshold && mach.Package(c) == myPkg {
+			localHigh = true
+		}
+	}
+	globalPressure := totalPredicted >= p.BandwidthThreshold
+
+	if !localHigh && !globalPressure {
+		return 0
+	}
+	for i, t := range cands {
+		if t == nil || t.Run == nil {
+			continue
+		}
+		if p.Monitor.Predicted(t.Run) < p.Threshold {
+			if i > 0 {
+				if localHigh {
+					p.Stats.EasedLocal++
+				} else {
+					p.Stats.EasedGlobal++
+				}
+			}
+			return i
+		}
+	}
+	p.Stats.GaveUp++
+	return 0
+}
+
+var _ kernel.Policy = (*TopologyAware)(nil)

@@ -1,0 +1,165 @@
+// Package signature implements Section 4.4: online request identification
+// from partial variation patterns. The system maintains a bank of
+// representative request signatures — the paper uses the variation pattern
+// of L2 references per instruction, a metric reflecting inherent request
+// behavior free of dynamic shared-L2 contention effects — and matches an
+// in-flight request's partial pattern against the bank to predict request
+// properties (CPU consumption above or below a threshold) well before the
+// request completes. Online matching uses the L1 distance for its low cost.
+package signature
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// Entry is one representative signature in the bank.
+type Entry struct {
+	// Pattern is the signature metric's variation pattern, in fixed
+	// instruction buckets.
+	Pattern []float64
+	// Average is the whole-request average of the signature metric, for
+	// the average-value baseline.
+	Average float64
+	// CPUTimeNs is the source request's CPU consumption — the property
+	// being predicted.
+	CPUTimeNs float64
+	// Type records the source request type (diagnostics only).
+	Type string
+}
+
+// Bank is a signature bank for one application.
+type Bank struct {
+	// Metric is the signature metric (the paper: L2 references per
+	// instruction).
+	Metric metrics.Metric
+	// BucketIns is the resampling bucket in instructions.
+	BucketIns float64
+	// Entries are the representative signatures.
+	Entries []Entry
+	// ThresholdNs is the CPU-usage prediction threshold (the paper: the
+	// workload's median request CPU usage).
+	ThresholdNs float64
+}
+
+// Build constructs a bank from representative traces (the paper collects
+// 500 per application) and sets the prediction threshold to the median CPU
+// usage of those traces.
+func Build(traces []*trace.Request, m metrics.Metric, bucketIns float64, maxEntries int) *Bank {
+	b := &Bank{Metric: m, BucketIns: bucketIns}
+	n := len(traces)
+	if maxEntries > 0 && n > maxEntries {
+		n = maxEntries
+	}
+	var cpus []float64
+	for _, tr := range traces[:n] {
+		pattern := tr.Resampled(m, bucketIns)
+		s := tr.Series(m, timeseries.Instructions)
+		b.Entries = append(b.Entries, Entry{
+			Pattern:   pattern,
+			Average:   s.WeightedMean(),
+			CPUTimeNs: float64(tr.CPUTime()),
+			Type:      tr.Type,
+		})
+		cpus = append(cpus, float64(tr.CPUTime()))
+	}
+	b.ThresholdNs = stats.Median(cpus)
+	return b
+}
+
+// prefixL1 compares a partial pattern against an entry's leading buckets:
+// plain L1 over the overlap; an entry shorter than the prefix pays the
+// missing buckets at the prefix's own values (it cannot explain them).
+func prefixL1(prefix, entry []float64) float64 {
+	n := len(prefix)
+	if len(entry) < n {
+		n = len(entry)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(prefix[i] - entry[i])
+	}
+	for i := n; i < len(prefix); i++ {
+		sum += math.Abs(prefix[i])
+	}
+	return sum
+}
+
+// IdentifyPattern returns the bank index whose signature's leading portion
+// best matches the partial variation pattern (smallest L1 distance), or -1
+// for an empty bank.
+func (b *Bank) IdentifyPattern(prefix []float64) int {
+	best, bestD := -1, math.Inf(1)
+	for i := range b.Entries {
+		if d := prefixL1(prefix, b.Entries[i].Pattern); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// IdentifyAverage returns the bank index whose whole-request average
+// metric value is closest to the partial execution's average — the paper's
+// earlier average-value signatures.
+func (b *Bank) IdentifyAverage(prefixAverage float64) int {
+	best, bestD := -1, math.Inf(1)
+	for i := range b.Entries {
+		if d := math.Abs(prefixAverage - b.Entries[i].Average); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// PredictHighUsage predicts whether an in-flight request's CPU consumption
+// will exceed the bank threshold, from its partial variation pattern.
+func (b *Bank) PredictHighUsage(prefix []float64) bool {
+	i := b.IdentifyPattern(prefix)
+	if i < 0 {
+		return false
+	}
+	return b.Entries[i].CPUTimeNs > b.ThresholdNs
+}
+
+// PredictHighUsageByAverage is the average-value-signature baseline.
+func (b *Bank) PredictHighUsageByAverage(prefixAverage float64) bool {
+	i := b.IdentifyAverage(prefixAverage)
+	if i < 0 {
+		return false
+	}
+	return b.Entries[i].CPUTimeNs > b.ThresholdNs
+}
+
+// PastRequests is the conventional transparent baseline: with no online
+// information about an incoming request, predict its CPU usage as the
+// average consumption of recent past requests.
+type PastRequests struct {
+	window []float64
+	size   int
+}
+
+// NewPastRequests returns a predictor over the last size completions (the
+// paper uses 10).
+func NewPastRequests(size int) *PastRequests {
+	return &PastRequests{size: size}
+}
+
+// Observe records a completed request's CPU time.
+func (p *PastRequests) Observe(cpuNs float64) {
+	p.window = append(p.window, cpuNs)
+	if len(p.window) > p.size {
+		p.window = p.window[1:]
+	}
+}
+
+// PredictHigh predicts whether the next request exceeds the threshold.
+func (p *PastRequests) PredictHigh(thresholdNs float64) bool {
+	if len(p.window) == 0 {
+		return false
+	}
+	return stats.Mean(p.window) > thresholdNs
+}

@@ -1,0 +1,184 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underlies the multicore machine and operating-system models. All
+// simulated activity is driven by a virtual clock in nanoseconds; wall-clock
+// time never enters the simulation, so any run is exactly reproducible from
+// its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of simulation.
+type Time int64
+
+// Common durations expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a Time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a Time to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback. Events are single-shot; cancelling an event
+// that already fired is a no-op.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; the whole simulation runs on one goroutine by design so
+// that event ordering is total and deterministic.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (or at the
+// present instant) runs the event at the current time, ordered after events
+// already scheduled for that time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// Cancel removes ev from the queue. Safe to call on nil, fired, or already
+// cancelled events.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Reschedule cancels ev and schedules fn at t, returning the new event.
+func (e *Engine) Reschedule(ev *Event, t Time, fn func()) *Event {
+	e.Cancel(ev)
+	return e.At(t, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, the clock passes until, or
+// Stop is called. The clock is left at the time of the last event executed
+// (or at until, whichever is smaller, if the horizon was hit).
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			return
+		}
+		next := e.queue[0].at
+		if next > until {
+			e.now = until
+			return
+		}
+		e.Step()
+	}
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop halts Run/RunAll after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events (including cancelled ones not
+// yet reaped — cancellation removes them eagerly so this is exact in
+// practice).
+func (e *Engine) Pending() int { return len(e.queue) }

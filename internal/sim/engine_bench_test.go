@@ -1,0 +1,27 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 10000 {
+				e.After(Time(n%97+1), tick)
+			}
+		}
+		e.After(1, tick)
+		e.RunAll()
+	}
+}
+
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(1000000, func() {})
+		e.Cancel(ev)
+	}
+}

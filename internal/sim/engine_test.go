@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and cancel-after-fire must be safe.
+	e.Cancel(ev)
+	ev2 := e.At(20, func() {})
+	e.RunAll()
+	e.Cancel(ev2)
+}
+
+func TestEngineCancelFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	e.At(1, func() { e.Cancel(victim) })
+	victim = e.At(2, func() { fired = true })
+	e.RunAll()
+	if fired {
+		t.Fatal("event cancelled from within an earlier event still fired")
+	}
+}
+
+func TestEngineScheduleInPastRunsNow(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.At(50, func() { at = e.Now() }) // in the past
+	})
+	e.RunAll()
+	if at != 100 {
+		t.Fatalf("past event ran at %d, want 100", at)
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(10, tick)
+	}
+	e.After(10, tick)
+	e.Run(95)
+	if count != 9 {
+		t.Fatalf("ran %d ticks before horizon 95, want 9", count)
+	}
+	if e.Now() != 95 {
+		t.Fatalf("Now = %d after horizon, want 95", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 100; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 5 {
+		t.Fatalf("Stop did not halt run: count = %d", count)
+	}
+}
+
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.At(10, func() { t.Fatal("original event fired") })
+	e.Reschedule(ev, 20, func() { at = e.Now() })
+	e.RunAll()
+	if at != 20 {
+		t.Fatalf("rescheduled event at %d, want 20", at)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Float64() == c.Float64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestForkLabeledStable(t *testing.T) {
+	a := ForkLabeled(7, "tpcc")
+	b := ForkLabeled(7, "tpcc")
+	if a.Float64() != b.Float64() {
+		t.Fatal("ForkLabeled not stable for identical labels")
+	}
+	c := ForkLabeled(7, "tpch")
+	d := ForkLabeled(7, "tpcc")
+	if c.Float64() == d.Float64() {
+		t.Fatal("ForkLabeled collision across labels (extremely unlikely)")
+	}
+}
+
+func TestClampedNormalBounds(t *testing.T) {
+	g := NewRNG(1)
+	f := func(seed int64) bool {
+		v := g.ClampedNormal(5, 100, 0, 10)
+		return v >= 0 && v <= 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	g := NewRNG(9)
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[g.Pick([]float64{0.45, 0.43, 0.12})]++
+	}
+	if counts[0] < 4000 || counts[0] > 5000 {
+		t.Fatalf("weight 0.45 drew %d/10000", counts[0])
+	}
+	if counts[2] > 2000 {
+		t.Fatalf("weight 0.12 drew %d/10000", counts[2])
+	}
+}
+
+func TestPickPanicsOnZeroWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero weights did not panic")
+		}
+	}()
+	NewRNG(1).Pick([]float64{0, 0})
+}
+
+func TestParetoBounded(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Pareto(1.2, 100, 900000)
+		if v < 100-1e-6 || v > 900000+1e-6 {
+			t.Fatalf("Pareto draw %v outside [100, 900000]", v)
+		}
+	}
+}
+
+func TestExpNonNegative(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		if g.Exp(5) < 0 {
+			t.Fatal("Exp produced negative value")
+		}
+	}
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

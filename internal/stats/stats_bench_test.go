@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) []float64 {
+	r := rand.New(rand.NewSource(1))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.NormFloat64()
+	}
+	return out
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	xs := benchData(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 99)
+	}
+}
+
+func BenchmarkCoV(b *testing.B) {
+	v, w := benchData(10000), benchData(10000)
+	for i := range w {
+		if w[i] < 0 {
+			w[i] = -w[i]
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoV(v, w)
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import "repro/internal/sim"
+
+// The two microbenchmarks of Table 1 calibrate the sampling observer
+// effect: Mbench-Spin spins the CPU with almost no data access (minimum
+// cache state pollution), while Mbench-Data repeatedly streams through
+// 16 MB of memory (replacing the entire cache state very quickly).
+
+// Mbench is a single-phase microbenchmark workload.
+type Mbench struct {
+	name   string
+	cpi    float64
+	refs   float64
+	miss   float64
+	ws     float64
+	length float64
+}
+
+// NewMbenchSpin returns the CPU-spinning microbenchmark.
+func NewMbenchSpin() *Mbench {
+	return &Mbench{name: "mbench-spin", cpi: 1.0, refs: 0.0001, miss: 0.01,
+		ws: 4 << 10, length: 3e9}
+}
+
+// NewMbenchData returns the 16 MB sequential-streaming microbenchmark.
+func NewMbenchData() *Mbench {
+	return &Mbench{name: "mbench-data", cpi: 3.5, refs: 0.08, miss: 0.5,
+		ws: 16 << 20, length: 3e9}
+}
+
+// Name implements App.
+func (m *Mbench) Name() string { return m.name }
+
+// SamplingPeriod implements App.
+func (*Mbench) SamplingPeriod() sim.Time { return 10 * sim.Microsecond }
+
+// Tiers implements App.
+func (*Mbench) Tiers() int { return 1 }
+
+// NewRequest implements App: one long uniform phase with no system calls,
+// so every counter sample during it measures pure observer effect.
+func (m *Mbench) NewRequest(id uint64, g *sim.RNG) *Request {
+	return &Request{
+		ID:   id,
+		App:  m.name,
+		Type: m.name,
+		Phases: []Phase{{
+			Name:         "loop",
+			Instructions: m.length,
+			Activity:     actFor(g, m.cpi, m.refs, m.miss, m.ws),
+		}},
+		RNG: g.Fork(),
+	}
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestRequestValidityProperty checks structural invariants for every
+// application across many seeds: positive phase lengths, sane activities,
+// valid tiers, non-negative syscall parameters.
+func TestRequestValidityProperty(t *testing.T) {
+	apps := append(All(), App(NewMbenchSpin()), App(NewMbenchData()))
+	f := func(seed int64) bool {
+		g := sim.NewRNG(seed)
+		for _, app := range apps {
+			r := app.NewRequest(1, g)
+			if len(r.Phases) == 0 || r.RNG == nil {
+				return false
+			}
+			if r.App != app.Name() {
+				return false
+			}
+			for _, p := range r.Phases {
+				a := p.Activity
+				if p.Instructions <= 0 ||
+					a.BaseCPI <= 0 ||
+					a.RefsPerIns < 0 || a.RefsPerIns > 0.5 ||
+					a.SoloMissRatio < 0 || a.SoloMissRatio > 1 ||
+					a.WorkingSetBytes < 0 {
+					return false
+				}
+				if p.Tier < 0 || p.Tier >= app.Tiers() {
+					return false
+				}
+				if p.SyscallGap < 0 || p.BlockProb < 0 || p.BlockProb > 1 {
+					return false
+				}
+				if p.SyscallGap > 0 && len(p.Syscalls) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestActForHitsTarget verifies the inverse cost-model calibration helper:
+// the solo effective CPI of the produced activity lands near the target
+// (up to the deliberate jitter).
+func TestActForHitsTarget(t *testing.T) {
+	g := sim.NewRNG(11)
+	targets := []struct{ cpi, refs, miss, ws float64 }{
+		{1.2, 0.005, 0.05, 256 << 10},
+		{2.0, 0.02, 0.1, 2 << 20},
+		{3.0, 0.04, 0.2, 8 << 20},
+		{4.9, 0.04, 0.1, 192 << 10},
+	}
+	for _, tc := range targets {
+		var sum float64
+		const n = 200
+		for i := 0; i < n; i++ {
+			a := actFor(g, tc.cpi, tc.refs, tc.miss, tc.ws)
+			sum += soloCPI(&Request{Phases: []Phase{{Instructions: 1, Activity: a}}})
+		}
+		mean := sum / n
+		if math.Abs(mean-tc.cpi) > 0.12*tc.cpi {
+			t.Errorf("actFor(%v) solo CPI mean = %.3f", tc.cpi, mean)
+		}
+	}
+}
+
+// TestJitterBounds verifies draws stay within the clamp band.
+func TestJitterBounds(t *testing.T) {
+	g := sim.NewRNG(12)
+	for i := 0; i < 2000; i++ {
+		v := jitter(g, 100, 0.5)
+		if v < 25 || v > 400 {
+			t.Fatalf("jitter escaped clamp band: %v", v)
+		}
+	}
+	if jitter(g, 0, 0.5) != 0 {
+		t.Fatal("zero-mean jitter should be zero")
+	}
+}
+
+// TestTypeIndexDense verifies type indexes map consistently to type names.
+func TestTypeIndexDense(t *testing.T) {
+	for _, app := range All() {
+		g := sim.NewRNG(13)
+		seen := map[int]string{}
+		for i := 0; i < 300; i++ {
+			r := app.NewRequest(uint64(i), g)
+			if prev, ok := seen[r.TypeIndex]; ok && prev != r.Type {
+				t.Fatalf("%s: TypeIndex %d maps to %q and %q",
+					app.Name(), r.TypeIndex, prev, r.Type)
+			}
+			seen[r.TypeIndex] = r.Type
+		}
+	}
+}
+
+// TestWebChunkCountTracksFileSize: bigger SPECweb classes produce more
+// send chunks (longer requests).
+func TestWebChunkCountTracksFileSize(t *testing.T) {
+	g := sim.NewRNG(14)
+	w := NewWebServer()
+	byClass := map[string][]float64{}
+	for i := 0; i < 800; i++ {
+		r := w.NewRequest(uint64(i), g)
+		byClass[r.Type] = append(byClass[r.Type], r.TotalInstructions())
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if len(byClass["class0"]) == 0 || len(byClass["class2"]) == 0 {
+		t.Skip("class mix too sparse")
+	}
+	if mean(byClass["class2"]) <= mean(byClass["class0"]) {
+		t.Fatal("larger file class should produce longer requests")
+	}
+}
+
+// TestTPCHPrologueIdentifiesQuery: the plan prologue length is
+// query-characteristic (the Figure 10 identification signal).
+func TestTPCHPrologueIdentifiesQuery(t *testing.T) {
+	g := sim.NewRNG(15)
+	tp := NewTPCH()
+	prologues := map[string][]float64{}
+	for i := 0; i < 300; i++ {
+		r := tp.NewRequest(uint64(i), g)
+		if r.Phases[0].Name != "plan" {
+			t.Fatal("TPCH requests must start with the plan prologue")
+		}
+		prologues[r.Type] = append(prologues[r.Type], r.Phases[0].Instructions)
+	}
+	// Q2 (index 0) and Q22 (index 16) prologues must be well separated.
+	q2, q22 := prologues["Q2"], prologues["Q22"]
+	if len(q2) == 0 || len(q22) == 0 {
+		t.Skip("query mix too sparse")
+	}
+	var m2, m22 float64
+	for _, v := range q2 {
+		m2 += v
+	}
+	for _, v := range q22 {
+		m22 += v
+	}
+	m2 /= float64(len(q2))
+	m22 /= float64(len(q22))
+	if m22 < m2*2 {
+		t.Fatalf("prologues not query-characteristic: Q2 %.0f vs Q22 %.0f", m2, m22)
+	}
+}
