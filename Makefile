@@ -1,0 +1,23 @@
+# Smoke gate: `make check` runs what CI would — vet, build, the full test
+# suite under the race detector, and a single-iteration pass over the
+# distance/cluster benchmarks (including the pairwise-matrix engine's
+# serial-vs-parallel equality assertion in BenchmarkPairwiseMatrix).
+
+GO ?= go
+
+.PHONY: check vet build test bench
+
+check: vet build test bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/distance/... ./internal/cluster/...
+	$(GO) test -run '^$$' -bench BenchmarkPairwiseMatrix -benchtime=1x .

@@ -13,9 +13,11 @@ package repro_test
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/distance"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/predict"
@@ -213,6 +215,61 @@ func BenchmarkFigure13(b *testing.B) {
 		}
 		b.ReportMetric(r.Apps[0].WorstCaseReduction()*100, "tpch-p999-reduction-pct")
 	}
+}
+
+// BenchmarkPairwiseMatrix measures the pairwise-distance engine on a
+// 200-request population of CPI-like patterns under the paper's
+// asynchrony-penalized DTW: the serial fill vs the GOMAXPROCS worker pool
+// (the speedup target is ≥3× at GOMAXPROCS ≥ 4), plus the Sakoe-Chiba
+// banded fill. A one-time check asserts the parallel matrix is
+// element-for-element identical to the serial one.
+func BenchmarkPairwiseMatrix(b *testing.B) {
+	const population = 200
+	g := sim.NewRNG(42)
+	seqs := make([][]float64, population)
+	for i := range seqs {
+		n := 48 + g.Intn(33) // resampled pattern lengths vary per request
+		s := make([]float64, n)
+		cpi := 2.0
+		for j := range s {
+			cpi += g.Normal(0, 0.15)
+			if cpi < 0.5 {
+				cpi = 0.5
+			}
+			s[j] = cpi
+		}
+		seqs[i] = s
+	}
+	d := distance.DTW{AsyncPenalty: 0.5}
+
+	serial := distance.NewMatrixFromSequences(seqs, d, distance.MatrixOptions{Workers: 1})
+	parallel := distance.NewMatrixFromSequences(seqs, d, distance.MatrixOptions{})
+	for i := 0; i < population; i++ {
+		for j := 0; j < population; j++ {
+			if serial.At(i, j) != parallel.At(i, j) {
+				b.Fatalf("parallel matrix differs at (%d,%d): %v vs %v",
+					i, j, parallel.At(i, j), serial.At(i, j))
+			}
+		}
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			distance.NewMatrixFromSequences(seqs, d, distance.MatrixOptions{Workers: 1})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		for i := 0; i < b.N; i++ {
+			distance.NewMatrixFromSequences(seqs, d, distance.MatrixOptions{})
+		}
+	})
+	b.Run("parallel-banded", func(b *testing.B) {
+		banded := distance.DTW{AsyncPenalty: 0.5, Window: 8}
+		for i := 0; i < b.N; i++ {
+			distance.NewMatrixFromSequences(seqs, banded, distance.MatrixOptions{})
+		}
+	})
 }
 
 // --- Ablations (DESIGN.md section 5) ---

@@ -39,7 +39,8 @@ type Scored struct {
 
 // GroupAnomalies ranks a group of same-semantics requests by their metric-m
 // pattern distance from the group centroid, most anomalous first. The
-// centroid request (distance 0 to itself) is returned separately.
+// centroid request (distance 0 to itself) is returned separately. The
+// pairwise distances are precomputed through the parallel engine.
 func (d *Detector) GroupAnomalies(group []*trace.Request, m metrics.Metric) (centroid *trace.Request, ranked []Scored) {
 	if len(group) == 0 {
 		return nil, nil
@@ -49,32 +50,14 @@ func (d *Detector) GroupAnomalies(group []*trace.Request, m metrics.Metric) (cen
 		patterns[i] = tr.Resampled(m, d.BucketIns)
 	}
 	// Centroid: member minimizing the summed distance to all others.
-	best, bestSum := 0, math.Inf(1)
-	dists := make([][]float64, len(group))
-	for i := range group {
-		dists[i] = make([]float64, len(group))
-	}
-	for i := 0; i < len(group); i++ {
-		for j := i + 1; j < len(group); j++ {
-			v := d.Measure.Distance(patterns[i], patterns[j])
-			dists[i][j], dists[j][i] = v, v
-		}
-	}
-	for i := range group {
-		var sum float64
-		for j := range group {
-			sum += dists[i][j]
-		}
-		if sum < bestSum {
-			best, bestSum = i, sum
-		}
-	}
+	dists := distance.NewMatrixFromSequences(patterns, d.Measure, distance.MatrixOptions{})
+	best := dists.Medoid()
 	centroid = group[best]
 	for i, tr := range group {
 		if i == best {
 			continue
 		}
-		ranked = append(ranked, Scored{Trace: tr, Distance: dists[best][i]})
+		ranked = append(ranked, Scored{Trace: tr, Distance: dists.At(best, i)})
 	}
 	sort.Slice(ranked, func(a, b int) bool { return ranked[a].Distance > ranked[b].Distance })
 	return centroid, ranked
@@ -98,17 +81,16 @@ type Pair struct {
 // CPIDistance / (RefsDistance + ε), strongest first, and each trace appears
 // in at most one returned pair.
 func (d *Detector) FindPairs(traces []*trace.Request, maxPairs int) []Pair {
-	type pattern struct {
-		refs []float64
-		cpi  []float64
-	}
-	pats := make([]pattern, len(traces))
+	refsPats := make([][]float64, len(traces))
+	cpiPats := make([][]float64, len(traces))
 	for i, tr := range traces {
-		pats[i] = pattern{
-			refs: tr.Resampled(metrics.L2RefsPerIns, d.BucketIns),
-			cpi:  tr.Resampled(metrics.CPI, d.BucketIns),
-		}
+		refsPats[i] = tr.Resampled(metrics.L2RefsPerIns, d.BucketIns)
+		cpiPats[i] = tr.Resampled(metrics.CPI, d.BucketIns)
 	}
+	// Both metric matrices fill through the parallel engine before the
+	// serial candidate scan reads them.
+	refsM := distance.NewMatrixFromSequences(refsPats, d.Measure, distance.MatrixOptions{})
+	cpiM := distance.NewMatrixFromSequences(cpiPats, d.Measure, distance.MatrixOptions{})
 	type cand struct {
 		i, j  int
 		refsD float64
@@ -118,10 +100,10 @@ func (d *Detector) FindPairs(traces []*trace.Request, maxPairs int) []Pair {
 	var cands []cand
 	for i := 0; i < len(traces); i++ {
 		for j := i + 1; j < len(traces); j++ {
-			refsD := d.Measure.Distance(pats[i].refs, pats[j].refs)
-			cpiD := d.Measure.Distance(pats[i].cpi, pats[j].cpi)
+			refsD := refsM.At(i, j)
+			cpiD := cpiM.At(i, j)
 			// Normalize by pattern length so long requests don't dominate.
-			n := float64(len(pats[i].refs) + len(pats[j].refs))
+			n := float64(len(refsPats[i]) + len(refsPats[j]))
 			if n == 0 {
 				continue
 			}

@@ -7,16 +7,29 @@ package cluster
 import (
 	"math"
 
+	"repro/internal/distance"
 	"repro/internal/sim"
 )
 
 // DistFunc returns the dissimilarity between items i and j of the
-// population being clustered.
+// population being clustered. KMedoids precomputes all pairs through the
+// parallel distance engine, so the function must be safe for concurrent
+// calls — pure functions over read-only inputs (every distance.Measure)
+// qualify.
 type DistFunc func(i, j int) float64
+
+// Distances is a read-only precomputed pairwise-distance view, satisfied
+// by *distance.Matrix. At must be symmetric with a zero diagonal.
+type Distances interface {
+	N() int
+	At(i, j int) float64
+}
 
 // Result is a k-medoids clustering outcome.
 type Result struct {
 	// Medoids holds the item index of each cluster's centroid request.
+	// Indices are unique: an emptied cluster is re-seeded rather than left
+	// pointing at a stale (possibly shared) medoid.
 	Medoids []int
 	// Assign maps each item to its cluster (index into Medoids).
 	Assign []int
@@ -43,23 +56,37 @@ type Config struct {
 	MaxIterations int
 	// Seed drives the initial medoid selection.
 	Seed int64
+	// Workers bounds the parallel distance precompute in KMedoids
+	// (default runtime.GOMAXPROCS); KMedoidsMatrix ignores it.
+	Workers int
 }
 
-// KMedoids clusters n items under dist. It uses a distance cache, so dist
-// is called O(n²/2) times at most; callers with expensive distances (DTW)
-// should still pre-resample their sequences.
+// KMedoids clusters n items under dist. All n·(n−1)/2 pairwise distances
+// are precomputed in parallel through the distance engine (dist must
+// therefore be concurrency-safe; see DistFunc), then the iteration reads
+// the matrix. Callers clustering several measures over one population
+// should build the matrices themselves and use KMedoidsMatrix to share
+// them with other analyses.
 func KMedoids(n int, dist DistFunc, cfg Config) *Result {
+	m := distance.NewMatrix(n, distance.PairFunc(dist), distance.MatrixOptions{Workers: cfg.Workers})
+	return KMedoidsMatrix(m, cfg)
+}
+
+// KMedoidsMatrix clusters the population of a precomputed pairwise
+// distance matrix. The result is deterministic for a given matrix and
+// seed.
+func KMedoidsMatrix(dm Distances, cfg Config) *Result {
 	if cfg.K <= 0 {
 		panic("cluster: K must be positive")
 	}
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 50
 	}
+	n := dm.N()
 	k := cfg.K
 	if k > n {
 		k = n
 	}
-	cache := newDistCache(n, dist)
 
 	// Initialization: greedy k-means++-style spread using a seeded stream —
 	// the first medoid is random; each next maximizes distance to chosen.
@@ -76,7 +103,7 @@ func KMedoids(n int, dist DistFunc, cfg Config) *Result {
 			}
 			d := math.Inf(1)
 			for _, m := range medoids {
-				if v := cache.get(i, m); v < d {
+				if v := dm.At(i, m); v < d {
 					d = v
 				}
 			}
@@ -99,7 +126,7 @@ func KMedoids(n int, dist DistFunc, cfg Config) *Result {
 		for i := 0; i < n; i++ {
 			best, bestD := assign[i], math.Inf(1)
 			for c, m := range medoids {
-				if d := cache.get(i, m); d < bestD {
+				if d := dm.At(i, m); d < bestD {
 					best, bestD = c, d
 				}
 			}
@@ -112,18 +139,30 @@ func KMedoids(n int, dist DistFunc, cfg Config) *Result {
 			break
 		}
 		// Update step: each cluster's medoid becomes the member minimizing
-		// the sum of distances to all other members.
+		// the sum of distances to all other members. An emptied cluster is
+		// re-seeded from the item farthest from its assigned medoid, so no
+		// cluster keeps a stale medoid (which another cluster could
+		// otherwise duplicate under distance ties).
 		moved := false
 		for c := range medoids {
 			members := res.Members(c)
 			if len(members) == 0 {
+				if far := farthestNonMedoid(dm, medoids, assign); far >= 0 && far != medoids[c] {
+					medoids[c] = far
+					moved = true
+				}
 				continue
 			}
 			best, bestSum := medoids[c], math.Inf(1)
 			for _, cand := range members {
+				// Never adopt another cluster's medoid (reachable only
+				// under exact distance ties): medoid indices stay unique.
+				if cand != medoids[c] && containsInt(medoids, cand) {
+					continue
+				}
 				var sum float64
 				for _, other := range members {
-					sum += cache.get(cand, other)
+					sum += dm.At(cand, other)
 				}
 				if sum < bestSum {
 					best, bestSum = cand, sum
@@ -141,6 +180,22 @@ func KMedoids(n int, dist DistFunc, cfg Config) *Result {
 	return res
 }
 
+// farthestNonMedoid returns the item with the greatest distance to its
+// assigned medoid, excluding current medoids (ties to the lowest index),
+// or -1 when every item is a medoid.
+func farthestNonMedoid(dm Distances, medoids, assign []int) int {
+	best, bestD := -1, -1.0
+	for i := 0; i < dm.N(); i++ {
+		if containsInt(medoids, i) {
+			continue
+		}
+		if d := dm.At(i, medoids[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
 func containsInt(xs []int, v int) bool {
 	for _, x := range xs {
 		if x == v {
@@ -148,33 +203,6 @@ func containsInt(xs []int, v int) bool {
 		}
 	}
 	return false
-}
-
-// distCache memoizes the symmetric distance matrix lazily.
-type distCache struct {
-	n    int
-	dist DistFunc
-	vals []float64
-	set  []bool
-}
-
-func newDistCache(n int, dist DistFunc) *distCache {
-	return &distCache{n: n, dist: dist, vals: make([]float64, n*n), set: make([]bool, n*n)}
-}
-
-func (c *distCache) get(i, j int) float64 {
-	if i == j {
-		return 0
-	}
-	if i > j {
-		i, j = j, i
-	}
-	idx := i*c.n + j
-	if !c.set[idx] {
-		c.vals[idx] = c.dist(i, j)
-		c.set[idx] = true
-	}
-	return c.vals[idx]
 }
 
 // Divergence measures classification quality the paper's way (Figure 7):

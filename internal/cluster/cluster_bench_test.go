@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/distance"
 )
 
 func BenchmarkKMedoids(b *testing.B) {
@@ -16,5 +18,23 @@ func BenchmarkKMedoids(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		KMedoids(len(pts), dist, Config{K: 10, Seed: 1})
+	}
+}
+
+// BenchmarkKMedoidsPrecomputed isolates the iteration cost when the
+// pairwise matrix is built once and shared across clustering runs (the
+// Figure 7 shape: five measures over one population).
+func BenchmarkKMedoidsPrecomputed(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]float64, 400)
+	for i := range pts {
+		pts[i] = r.Float64() * 100
+	}
+	m := distance.NewMatrix(len(pts), func(i, j int) float64 {
+		return math.Abs(pts[i] - pts[j])
+	}, distance.MatrixOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMedoidsMatrix(m, Config{K: 10, Seed: 1})
 	}
 }

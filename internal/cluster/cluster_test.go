@@ -3,8 +3,11 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/distance"
 )
 
 // pointsDist builds a DistFunc over 1-D points.
@@ -141,19 +144,77 @@ func TestKZeroPanics(t *testing.T) {
 	KMedoids(3, pointsDist([]float64{1, 2, 3}), Config{})
 }
 
-func TestDistCacheSymmetryAndLaziness(t *testing.T) {
-	calls := 0
-	d := func(i, j int) float64 { calls++; return float64(i + j) }
-	c := newDistCache(4, d)
-	v1 := c.get(1, 2)
-	v2 := c.get(2, 1)
-	if v1 != v2 {
-		t.Fatal("cache not symmetric")
+func TestKMedoidsMatrixEqualsDistFuncPath(t *testing.T) {
+	// The DistFunc front door and a caller-precomputed matrix must agree
+	// exactly: KMedoids is only a convenience wrapper over the engine.
+	r := rand.New(rand.NewSource(9))
+	pts := make([]float64, 50)
+	for i := range pts {
+		pts[i] = r.Float64() * 40
 	}
-	if calls != 1 {
-		t.Fatalf("distance recomputed: %d calls", calls)
+	cfg := Config{K: 5, Seed: 3}
+	a := KMedoids(len(pts), pointsDist(pts), cfg)
+	m := distance.NewMatrix(len(pts), func(i, j int) float64 {
+		return math.Abs(pts[i] - pts[j])
+	}, distance.MatrixOptions{})
+	b := KMedoidsMatrix(m, cfg)
+	if !reflect.DeepEqual(a.Medoids, b.Medoids) || !reflect.DeepEqual(a.Assign, b.Assign) {
+		t.Fatalf("matrix path diverged: %v/%v vs %v/%v", a.Medoids, a.Assign, b.Medoids, b.Assign)
 	}
-	if c.get(3, 3) != 0 {
-		t.Fatal("self-distance not zero")
+}
+
+func TestMedoidUniqueness(t *testing.T) {
+	// Tie-heavy populations (duplicate points) used to let one cluster
+	// adopt another's stale medoid; medoid indices must stay unique.
+	cases := [][]float64{
+		{1, 1, 1, 1, 1},
+		{1, 1, 1, 2, 2, 2},
+		{0, 0, 5, 5, 5, 5, 9},
+		{3, 3, 3, 3, 3, 3, 3, 3},
+	}
+	for _, pts := range cases {
+		for k := 2; k <= 4; k++ {
+			for seed := int64(0); seed < 8; seed++ {
+				res := KMedoids(len(pts), pointsDist(pts), Config{K: k, Seed: seed})
+				seen := map[int]bool{}
+				for _, m := range res.Medoids {
+					if seen[m] {
+						t.Fatalf("pts=%v k=%d seed=%d: duplicate medoid %d in %v",
+							pts, k, seed, m, res.Medoids)
+					}
+					seen[m] = true
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyClusterReseeded(t *testing.T) {
+	// Five identical points plus one far outlier, K=3: ties drain at
+	// least one cluster. Re-seeding must keep every medoid a real,
+	// distinct item, and the outlier (the farthest item) must end up a
+	// medoid rather than diverging inside a stale cluster.
+	pts := []float64{2, 2, 2, 2, 2, 50}
+	res := KMedoids(len(pts), pointsDist(pts), Config{K: 3, Seed: 1})
+	if len(res.Medoids) != 3 {
+		t.Fatalf("medoids = %v", res.Medoids)
+	}
+	seen := map[int]bool{}
+	outlierIsMedoid := false
+	for _, m := range res.Medoids {
+		if m < 0 || m >= len(pts) || seen[m] {
+			t.Fatalf("bad medoid set %v", res.Medoids)
+		}
+		seen[m] = true
+		if m == 5 {
+			outlierIsMedoid = true
+		}
+	}
+	if !outlierIsMedoid {
+		t.Fatalf("outlier not captured as a medoid: %v", res.Medoids)
+	}
+	// The outlier sits alone in its own cluster.
+	if c := res.Assign[5]; pts[res.Medoids[c]] != 50 || len(res.Members(c)) != 1 {
+		t.Fatalf("outlier assignment wrong: medoids=%v assign=%v", res.Medoids, res.Assign)
 	}
 }

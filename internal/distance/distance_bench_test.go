@@ -51,6 +51,36 @@ func BenchmarkDTW_1000(b *testing.B) {
 	}
 }
 
+func BenchmarkDTWBanded_1000(b *testing.B) {
+	x, y := benchSeq(1000, 1), benchSeq(1000, 2)
+	d := DTW{AsyncPenalty: 0.5, Window: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Distance(x, y)
+	}
+}
+
+func BenchmarkMatrix100x64(b *testing.B) {
+	seqs := make([][]float64, 100)
+	for i := range seqs {
+		seqs[i] = benchSeq(64, int64(i))
+	}
+	d := DTW{AsyncPenalty: 0.5}
+	for _, bench := range []struct {
+		name string
+		opt  MatrixOptions
+	}{
+		{"serial", MatrixOptions{Workers: 1}},
+		{"parallel", MatrixOptions{}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewMatrixFromSequences(seqs, d, bench.opt)
+			}
+		})
+	}
+}
+
 func BenchmarkLevenshtein_300(b *testing.B) {
 	x, y := benchNames(300, 1), benchNames(300, 2)
 	b.ResetTimer()

@@ -99,15 +99,88 @@ func TestDTWLowerBoundsL1Property(t *testing.T) {
 }
 
 func TestDTWEmptySequences(t *testing.T) {
+	// The empty side pays each unmatched element's magnitude plus the
+	// per-step asynchrony penalty.
 	d := DTW{AsyncPenalty: 2}
 	if got := d.Distance(nil, nil); got != 0 {
 		t.Fatalf("empty-empty = %v", got)
 	}
-	if got := d.Distance(nil, []float64{1, 2}); got != 4 {
-		t.Fatalf("empty-vs-2 = %v, want 2×penalty", got)
+	if got := d.Distance(nil, []float64{1, 2}); got != 7 {
+		t.Fatalf("empty-vs-2 = %v, want 1+2 + 2×penalty = 7", got)
 	}
-	if got := d.Distance([]float64{1}, nil); got != 2 {
-		t.Fatalf("1-vs-empty = %v", got)
+	if got := d.Distance([]float64{1}, nil); got != 3 {
+		t.Fatalf("1-vs-empty = %v, want 1 + penalty = 3", got)
+	}
+}
+
+func TestDTWEmptyVsNonEmptyNeverFree(t *testing.T) {
+	// Regression: with AsyncPenalty == 0 the old base case returned 0,
+	// declaring any request identical to the empty sequence.
+	seq := []float64{1.5, 0.5, 3}
+	for _, d := range []DTW{{}, {AsyncPenalty: 0.5}} {
+		want := 5.0 + 3*d.AsyncPenalty
+		if got := d.Distance(nil, seq); got != want {
+			t.Errorf("%s empty-vs-seq = %v, want %v", d.Name(), got, want)
+		}
+		if got := d.Distance(seq, nil); got != want {
+			t.Errorf("%s seq-vs-empty = %v, want %v", d.Name(), got, want)
+		}
+	}
+}
+
+func TestDTWBandEqualsExactWhenWindowSpansGrid(t *testing.T) {
+	// A band covering the whole warp grid must reproduce the
+	// unconstrained distance bit for bit (same arithmetic, same order).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randSeq(r, 1+r.Intn(25))
+		y := randSeq(r, 1+r.Intn(25))
+		pen := float64(r.Intn(3)) * 0.4
+		w := len(x)
+		if len(y) > w {
+			w = len(y)
+		}
+		exact := DTW{AsyncPenalty: pen}.Distance(x, y)
+		banded := DTW{AsyncPenalty: pen, Window: w}.Distance(x, y)
+		return banded == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWBandUpperBoundsExact(t *testing.T) {
+	// A narrow band forbids warp paths, so it can only over-estimate, and
+	// widening the band is monotone non-increasing down to the exact value.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randSeq(r, 2+r.Intn(20))
+		y := randSeq(r, 2+r.Intn(20))
+		exact := DTW{AsyncPenalty: 0.3}.Distance(x, y)
+		prevV := math.Inf(1)
+		for w := 1; w <= len(x)+len(y); w++ {
+			v := DTW{AsyncPenalty: 0.3, Window: w}.Distance(x, y)
+			if v < exact-1e-9 || v > prevV+1e-9 {
+				return false
+			}
+			prevV = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWBandShiftedPeak(t *testing.T) {
+	// Window 1 still absorbs a one-slot shift; window 0 means unbanded.
+	x := []float64{1, 1, 5, 1, 1, 1}
+	y := []float64{1, 1, 1, 5, 1, 1}
+	if got := (DTW{Window: 1}).Distance(x, y); got != 0 {
+		t.Fatalf("window-1 DTW of one-slot shift = %v, want 0", got)
+	}
+	if got := (DTW{}).Distance(x, y); got != 0 {
+		t.Fatalf("unbanded DTW = %v, want 0", got)
 	}
 }
 
@@ -185,6 +258,43 @@ func TestPeakPenalty(t *testing.T) {
 	}
 	if PeakPenalty(nil) != 0 {
 		t.Fatal("empty PeakPenalty should be 0")
+	}
+}
+
+func TestNearestCoprimeAwkwardLengths(t *testing.T) {
+	// The old stride len/2+1 shares a factor with the pool length on
+	// awkward lengths (len 6 → stride 4), cycling over a subset of pairs.
+	for n := 2; n <= 64; n++ {
+		s := nearestCoprime(n/2+1, n)
+		if s < 1 || s >= n {
+			t.Fatalf("n=%d: stride %d out of range", n, s)
+		}
+		if gcd(s, n) != 1 {
+			t.Fatalf("n=%d: stride %d not co-prime", n, s)
+		}
+		// A co-prime stride makes i → (i+s) mod n a single full cycle.
+		seen := make([]bool, n)
+		i := 0
+		for range seen {
+			if seen[i] {
+				t.Fatalf("n=%d stride %d revisits %d before covering", n, s, i)
+			}
+			seen[i] = true
+			i = (i + s) % n
+		}
+	}
+	if got := nearestCoprime(4, 6); got != 5 {
+		t.Fatalf("nearestCoprime(4,6) = %d, want 5", got)
+	}
+}
+
+func TestPeakPenaltyCoversAllOffsets(t *testing.T) {
+	// Pool of length 6 where even-offset pairs all differ by 0 and the
+	// co-prime stride is needed to see any difference: [0 1 0 1 0 1]. The
+	// old stride 4 (even) paired equal values only → penalty 0.
+	got := PeakPenalty([][]float64{{0, 1, 0}, {1, 0, 1}})
+	if got != 1 {
+		t.Fatalf("alternating-pool PeakPenalty = %v, want 1", got)
 	}
 }
 

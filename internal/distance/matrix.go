@@ -1,0 +1,159 @@
+// Pairwise-distance engine: every downstream analysis (k-medoids
+// classification, anomaly detection, the Figure 6–8 experiments) funnels
+// through O(n²) request differencing with an O(m·n) measure per pair. The
+// engine precomputes the full symmetric matrix once, in parallel, into
+// triangular storage, so the analyses read distances instead of computing
+// them — and so one population's matrix can be shared across analyses.
+//
+// Determinism: parallelism only changes when a cell is computed, never
+// what. Each cell is written exactly once, by the worker that claimed its
+// row block, with no reads of other cells; for a pure pair function the
+// resulting matrix is bit-identical to a serial fill.
+package distance
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PairFunc returns the dissimilarity between items i and j (i < j) of the
+// population. It must be symmetric in effect and, because the engine calls
+// it from multiple goroutines, safe for concurrent use — pure functions
+// over read-only inputs qualify.
+type PairFunc func(i, j int) float64
+
+// Matrix is a precomputed symmetric pairwise-distance matrix with a zero
+// diagonal. Only the strict upper triangle is stored (n·(n−1)/2 values,
+// half the footprint of a square layout). Matrices are immutable after
+// construction and safe for concurrent readers.
+type Matrix struct {
+	n    int
+	vals []float64
+}
+
+// MatrixOptions tunes the parallel fill.
+type MatrixOptions struct {
+	// Workers is the fill pool size; ≤0 means runtime.GOMAXPROCS(0).
+	// Workers == 1 fills serially on the calling goroutine.
+	Workers int
+	// RowBlock is the number of consecutive rows a worker claims at a
+	// time; ≤0 picks a size that spreads the triangle's uneven row costs
+	// (row i holds n−1−i cells) across the pool.
+	RowBlock int
+}
+
+// NewMatrix computes all pairwise distances for an n-item population under
+// pair. Rows are claimed in blocks by a bounded worker pool; see PairFunc
+// for the concurrency contract.
+func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
+	m := &Matrix{n: n}
+	if n < 2 {
+		return m
+	}
+	m.vals = make([]float64, n*(n-1)/2)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n-1 {
+		workers = n - 1
+	}
+	fillRow := func(i int) {
+		base := m.tri(i, i+1)
+		for j := i + 1; j < n; j++ {
+			m.vals[base+j-i-1] = pair(i, j)
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n-1; i++ {
+			fillRow(i)
+		}
+		return m
+	}
+	block := opt.RowBlock
+	if block <= 0 {
+		// Several blocks per worker so late rows (cheap) and early rows
+		// (expensive) average out.
+		block = (n - 1) / (workers * 8)
+		if block < 1 {
+			block = 1
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(block))) - block
+				if lo >= n-1 {
+					return
+				}
+				hi := lo + block
+				if hi > n-1 {
+					hi = n - 1
+				}
+				for i := lo; i < hi; i++ {
+					fillRow(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// NewMatrixFromSequences computes the pairwise matrix of a request
+// population's resampled metric sequences under measure d. Measures whose
+// Distance is pure (all in this package) satisfy the concurrency contract;
+// DTW additionally reuses pooled scratch rows so the fill's inner loop
+// allocates nothing.
+func NewMatrixFromSequences(seqs [][]float64, d Measure, opt MatrixOptions) *Matrix {
+	return NewMatrix(len(seqs), func(i, j int) float64 {
+		return d.Distance(seqs[i], seqs[j])
+	}, opt)
+}
+
+// N returns the population size.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the distance between items i and j (0 when i == j).
+func (m *Matrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return m.vals[m.tri(i, j)]
+}
+
+// tri maps upper-triangle coordinates (i < j) to flat storage.
+func (m *Matrix) tri(i, j int) int {
+	return i*(2*m.n-i-1)/2 + j - i - 1
+}
+
+// RowSum returns the summed distance from item i to every other item — the
+// centroid-selection quantity of Sections 4.2 and 4.3.
+func (m *Matrix) RowSum(i int) float64 {
+	var s float64
+	for j := 0; j < m.n; j++ {
+		s += m.At(i, j)
+	}
+	return s
+}
+
+// Medoid returns the index minimizing RowSum (ties to the lowest index),
+// or -1 for an empty matrix.
+func (m *Matrix) Medoid() int {
+	best := -1
+	var bestSum float64
+	for i := 0; i < m.n; i++ {
+		if s := m.RowSum(i); best < 0 || s < bestSum {
+			best, bestSum = i, s
+		}
+	}
+	return best
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/distance"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
@@ -46,12 +47,16 @@ func Figure6(cfg Config) (*Figure6Result, error) {
 	for i, tr := range newOrders {
 		patterns[i] = tr.Resampled(metrics.CPI, m.BucketIns)
 	}
+	// Both measures' pairwise matrices fill in parallel; the ratio scan
+	// then reads precomputed cells.
+	dtwM := distance.NewMatrixFromSequences(patterns, dtw, distance.MatrixOptions{})
+	l1M := distance.NewMatrixFromSequences(patterns, l1, distance.MatrixOptions{})
 	bestI, bestJ, bestRatio := -1, -1, 0.0
 	var bestL1, bestDTW float64
 	for i := 0; i < len(patterns); i++ {
 		for j := i + 1; j < len(patterns); j++ {
-			dv := dtw.Distance(patterns[i], patterns[j])
-			lv := l1.Distance(patterns[i], patterns[j])
+			dv := dtwM.At(i, j)
+			lv := l1M.At(i, j)
 			if dv <= 0 {
 				continue
 			}

@@ -69,22 +69,17 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 			averages[i] = []float64{tr.MetricValue(metrics.CPI)}
 		}
 
-		dists := map[string]cluster.DistFunc{
-			"levenshtein-syscalls": func(i, j int) float64 {
+		// Precompute each measure's full pairwise matrix through the
+		// parallel engine; k-medoids then shares the read-only matrices.
+		opt := distance.MatrixOptions{}
+		dists := map[string]*distance.Matrix{
+			"levenshtein-syscalls": distance.NewMatrix(len(traces), func(i, j int) float64 {
 				return float64(distance.Levenshtein(syscalls[i], syscalls[j]))
-			},
-			"average-CPI": func(i, j int) float64 {
-				return (distance.AverageDiff{}).Distance(averages[i], averages[j])
-			},
-			"L1-CPI-variations": func(i, j int) float64 {
-				return m.L1().Distance(cpiPatterns[i], cpiPatterns[j])
-			},
-			"DTW-CPI-variations": func(i, j int) float64 {
-				return m.DTW().Distance(cpiPatterns[i], cpiPatterns[j])
-			},
-			"DTW+asynchrony-penalty": func(i, j int) float64 {
-				return m.DTWPenalized().Distance(cpiPatterns[i], cpiPatterns[j])
-			},
+			}, opt),
+			"average-CPI":            distance.NewMatrixFromSequences(averages, distance.AverageDiff{}, opt),
+			"L1-CPI-variations":      distance.NewMatrixFromSequences(cpiPatterns, m.L1(), opt),
+			"DTW-CPI-variations":     distance.NewMatrixFromSequences(cpiPatterns, m.DTW(), opt),
+			"DTW+asynchrony-penalty": distance.NewMatrixFromSequences(cpiPatterns, m.DTWPenalized(), opt),
 		}
 
 		cpuTimes := make([]float64, len(traces))
@@ -100,7 +95,7 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 			PeakCPIDivergence: map[string]float64{},
 		}
 		for _, name := range Figure7Measures {
-			resCl := cluster.KMedoids(len(traces), dists[name], cluster.Config{
+			resCl := cluster.KMedoidsMatrix(dists[name], cluster.Config{
 				K: out.K, Seed: cfg.Seed,
 			})
 			fa.CPUTimeDivergence[name] = cluster.Divergence(resCl, cpuTimes)
