@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test bench
+.PHONY: check vet build test bench bench-json
 
 check: vet build test bench
 
@@ -20,4 +20,11 @@ test:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/distance/... ./internal/cluster/...
-	$(GO) test -run '^$$' -bench BenchmarkPairwiseMatrix -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPairwiseMatrix|BenchmarkIdentify' -benchtime=1x .
+
+# bench-json runs the full root benchmark sweep once and records it as a
+# machine-readable perf snapshot named after the current commit — the
+# BENCH_*.json trajectory future PRs diff against.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$$(git rev-parse --short HEAD).json

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/signature"
@@ -93,27 +96,68 @@ func Figure10(cfg Config) (*Figure10Result, error) {
 			fa.PastErr = float64(pastWrong) / float64(len(test))
 		}
 
+		// Pattern identification runs through the streaming fast path: one
+		// in-flight session per test request, held across progress steps so
+		// each step's matching is incremental, driven concurrently by the
+		// sharded service. Sessions return exactly what IdentifyPattern
+		// returns for the same prefix, so the curves are unchanged.
+		svc := signature.NewService(signature.NewMatcher(bank), 0)
 		for step := 1; step <= 10; step++ {
 			progress := float64(step) * unit
-			patWrong, avgWrong := 0, 0
-			for _, tr := range test {
+			var patWrong, avgWrong atomic.Int64
+			forEachRequest(len(test), func(i int) {
+				tr := test[i]
 				actual := float64(tr.CPUTime()) > bank.ThresholdNs
 				prefix := prefixPattern(tr, metrics.L2RefsPerIns, progress, unit)
-				if bank.PredictHighUsage(prefix) != actual {
-					patWrong++
+				if bank.HighUsage(svc.Update(uint64(i), prefix)) != actual {
+					patWrong.Add(1)
 				}
 				avg := prefixAverage(tr, metrics.L2RefsPerIns, progress)
 				if bank.PredictHighUsageByAverage(avg) != actual {
-					avgWrong++
+					avgWrong.Add(1)
 				}
-			}
+			})
 			fa.Steps = append(fa.Steps, step)
-			fa.PatternErr = append(fa.PatternErr, float64(patWrong)/float64(len(test)))
-			fa.AverageErr = append(fa.AverageErr, float64(avgWrong)/float64(len(test)))
+			fa.PatternErr = append(fa.PatternErr, float64(patWrong.Load())/float64(len(test)))
+			fa.AverageErr = append(fa.AverageErr, float64(avgWrong.Load())/float64(len(test)))
+		}
+		for i := range test {
+			svc.Finish(uint64(i))
 		}
 		out.Apps = append(out.Apps, fa)
 	}
 	return out, nil
+}
+
+// forEachRequest runs fn(0..n-1) across a GOMAXPROCS worker pool. The
+// per-request work is independent, so the outcome is order-free.
+func forEachRequest(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // prefixPattern resamples the leading progress instructions of a trace.

@@ -1,0 +1,139 @@
+// Online identification fast path, part 4: serving many in-flight
+// requests at once. A Service shards sessions by request ID across
+// independently locked shards, so concurrent updates for different
+// requests rarely contend, and recycles finished sessions through
+// per-shard free lists — the steady state allocates nothing.
+package signature
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Service drives concurrent in-flight identification sessions against one
+// matcher. All methods are safe for concurrent use; operations on distinct
+// request IDs proceed in parallel up to shard collisions.
+type Service struct {
+	m      *Matcher
+	shards []serviceShard
+	shift  uint
+}
+
+type serviceShard struct {
+	mu   sync.Mutex
+	live map[uint64]*Session
+	free []*Session
+	// Pad shards to their own cache lines so neighboring locks don't
+	// false-share under heavy cross-shard traffic.
+	_ [24]byte
+}
+
+// NewService returns a service over the matcher's bank with the given
+// shard count (rounded up to a power of two; non-positive means
+// GOMAXPROCS).
+func NewService(m *Matcher, shards int) *Service {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Service{m: m, shards: make([]serviceShard, n), shift: uint(64 - bits.TrailingZeros(uint(n)))}
+	for i := range s.shards {
+		s.shards[i].live = make(map[uint64]*Session)
+	}
+	return s
+}
+
+// shardFor hashes a request ID to its shard (Fibonacci hashing spreads
+// sequential IDs, the common case, across all shards).
+func (s *Service) shardFor(id uint64) *serviceShard {
+	if len(s.shards) == 1 {
+		return &s.shards[0]
+	}
+	return &s.shards[(id*0x9E3779B97F4A7C15)>>s.shift]
+}
+
+// session returns the live session for id, creating one (from the shard's
+// free list when possible) on first sight. Caller holds sh.mu.
+func (s *Service) session(sh *serviceShard, id uint64) *Session {
+	ses := sh.live[id]
+	if ses == nil {
+		if n := len(sh.free); n > 0 {
+			ses = sh.free[n-1]
+			sh.free = sh.free[:n-1]
+			ses.Reset()
+		} else {
+			ses = s.m.NewSession()
+		}
+		sh.live[id] = ses
+	}
+	return ses
+}
+
+// Observe appends newly observed buckets to request id's partial pattern
+// (starting a session on first sight) and returns the current best bank
+// index — the same index IdentifyPattern would return for the full prefix.
+func (s *Service) Observe(id uint64, delta ...float64) int {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ses := s.session(sh, id)
+	ses.Extend(delta...)
+	return ses.Best()
+}
+
+// Update synchronizes request id's session to an externally recomputed
+// prefix (see Session.Update) and returns the current best bank index.
+func (s *Service) Update(id uint64, prefix []float64) int {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ses := s.session(sh, id)
+	ses.Update(prefix)
+	return ses.Best()
+}
+
+// Best returns the current best bank index for request id, or -1 if the
+// request has no session (or the bank is empty).
+func (s *Service) Best(id uint64) int {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ses := sh.live[id]; ses != nil {
+		return ses.Best()
+	}
+	return -1
+}
+
+// PredictHigh predicts whether request id's CPU consumption will exceed
+// the bank threshold (false for an unknown request).
+func (s *Service) PredictHigh(id uint64) bool {
+	return s.m.bank.HighUsage(s.Best(id))
+}
+
+// Finish releases request id's session back to its shard's free list.
+// Finishing an unknown request is a no-op.
+func (s *Service) Finish(id uint64) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ses := sh.live[id]; ses != nil {
+		delete(sh.live, id)
+		sh.free = append(sh.free, ses)
+	}
+}
+
+// Live returns the number of in-flight sessions.
+func (s *Service) Live() int {
+	var n int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.live)
+		sh.mu.Unlock()
+	}
+	return n
+}

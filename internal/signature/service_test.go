@@ -1,0 +1,113 @@
+package signature
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestServiceConcurrentStreams drives many in-flight requests through the
+// sharded service from concurrent workers (exercised under -race by `make
+// check`) and verifies every request's final identification equals the
+// naive matcher on its full prefix.
+func TestServiceConcurrentStreams(t *testing.T) {
+	g := sim.NewRNG(4242)
+	bank := randomBank(g, 120, 32)
+	m := NewMatcher(bank)
+	svc := NewService(m, 0)
+
+	const requests = 96
+	streams := make([][]float64, requests)
+	for i := range streams {
+		streams[i] = randomStream(g, bank, 48)
+	}
+
+	finals := make([]int, requests)
+	workers := runtime.GOMAXPROCS(0) * 2
+	var next sync.Mutex
+	cursor := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := cursor
+				cursor++
+				next.Unlock()
+				if i >= requests {
+					return
+				}
+				stream := streams[i]
+				// Stream in small chunks, interleaving with other workers'
+				// requests on the same shards.
+				best := -1
+				for pos := 0; pos < len(stream); {
+					end := pos + 1 + i%3
+					if end > len(stream) {
+						end = len(stream)
+					}
+					best = svc.Observe(uint64(i), stream[pos:end]...)
+					pos = end
+				}
+				finals[i] = best
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, stream := range streams {
+		if want := bank.IdentifyPattern(stream); finals[i] != want {
+			t.Fatalf("request %d: service best %d, naive %d", i, finals[i], want)
+		}
+		if got, want := svc.PredictHigh(uint64(i)), bank.PredictHighUsage(stream); got != want {
+			t.Fatalf("request %d: service prediction %v, naive %v", i, got, want)
+		}
+	}
+
+	if svc.Live() != requests {
+		t.Fatalf("live sessions = %d, want %d", svc.Live(), requests)
+	}
+	for i := 0; i < requests; i++ {
+		svc.Finish(uint64(i))
+	}
+	svc.Finish(9999) // unknown id: no-op
+	if svc.Live() != 0 {
+		t.Fatalf("live sessions after finish = %d, want 0", svc.Live())
+	}
+	if svc.Best(0) != -1 || svc.PredictHigh(0) {
+		t.Fatal("finished request should report -1/false")
+	}
+
+	// Second wave reuses pooled sessions; results must be identical.
+	for i, stream := range streams {
+		id := uint64(1_000_000 + i)
+		svc.Update(id, stream)
+		if got, want := svc.Best(id), bank.IdentifyPattern(stream); got != want {
+			t.Fatalf("reused session request %d: best %d, naive %d", i, got, want)
+		}
+	}
+}
+
+// TestServiceUpdateRewind checks the Update path end to end: a revised
+// tail (as the resampler produces when a request ends mid-bucket) must be
+// detected and the rebuilt state must match naive identification.
+func TestServiceUpdateRewind(t *testing.T) {
+	g := sim.NewRNG(5)
+	bank := randomBank(g, 40, 24)
+	svc := NewService(NewMatcher(bank), 4)
+
+	stream := randomStream(g, bank, 30)
+	for pos := 1; pos <= len(stream); pos++ {
+		prefix := append([]float64(nil), stream[:pos]...)
+		if pos > 1 {
+			prefix[pos-1] *= 1.5 // pretend the tail bucket is still partial
+		}
+		if got, want := svc.Update(7, prefix), bank.IdentifyPattern(prefix); got != want {
+			t.Fatalf("pos %d: update best %d, naive %d", pos, got, want)
+		}
+	}
+}

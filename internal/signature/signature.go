@@ -48,9 +48,14 @@ type Bank struct {
 
 // Build constructs a bank from representative traces (the paper collects
 // 500 per application) and sets the prediction threshold to the median CPU
-// usage of those traces.
+// usage of those traces. An empty trace slice yields an empty bank with a
+// zero threshold (which predicts low usage for everything) rather than
+// feeding zero CPU samples into the median.
 func Build(traces []*trace.Request, m metrics.Metric, bucketIns float64, maxEntries int) *Bank {
 	b := &Bank{Metric: m, BucketIns: bucketIns}
+	if len(traces) == 0 {
+		return b
+	}
 	n := len(traces)
 	if maxEntries > 0 && n > maxEntries {
 		n = maxEntries
@@ -115,51 +120,68 @@ func (b *Bank) IdentifyAverage(prefixAverage float64) int {
 	return best
 }
 
-// PredictHighUsage predicts whether an in-flight request's CPU consumption
-// will exceed the bank threshold, from its partial variation pattern.
-func (b *Bank) PredictHighUsage(prefix []float64) bool {
-	i := b.IdentifyPattern(prefix)
+// HighUsage reports whether bank entry i predicts above-threshold CPU
+// consumption (false for i < 0, the no-match case).
+func (b *Bank) HighUsage(i int) bool {
 	if i < 0 {
 		return false
 	}
 	return b.Entries[i].CPUTimeNs > b.ThresholdNs
+}
+
+// PredictHighUsage predicts whether an in-flight request's CPU consumption
+// will exceed the bank threshold, from its partial variation pattern.
+func (b *Bank) PredictHighUsage(prefix []float64) bool {
+	return b.HighUsage(b.IdentifyPattern(prefix))
 }
 
 // PredictHighUsageByAverage is the average-value-signature baseline.
 func (b *Bank) PredictHighUsageByAverage(prefixAverage float64) bool {
-	i := b.IdentifyAverage(prefixAverage)
-	if i < 0 {
-		return false
-	}
-	return b.Entries[i].CPUTimeNs > b.ThresholdNs
+	return b.HighUsage(b.IdentifyAverage(prefixAverage))
 }
 
 // PastRequests is the conventional transparent baseline: with no online
 // information about an incoming request, predict its CPU usage as the
-// average consumption of recent past requests.
+// average consumption of recent past requests. The window is a fixed ring
+// buffer with a running sum, so Observe and PredictHigh are both O(1).
 type PastRequests struct {
-	window []float64
-	size   int
+	ring  []float64
+	head  int // next write position (the oldest observation once full)
+	count int
+	sum   float64
 }
 
 // NewPastRequests returns a predictor over the last size completions (the
-// paper uses 10).
+// paper uses 10). A non-positive size always predicts low usage.
 func NewPastRequests(size int) *PastRequests {
-	return &PastRequests{size: size}
+	if size < 0 {
+		size = 0
+	}
+	return &PastRequests{ring: make([]float64, size)}
 }
 
-// Observe records a completed request's CPU time.
+// Observe records a completed request's CPU time, evicting the oldest
+// observation once the window is full.
 func (p *PastRequests) Observe(cpuNs float64) {
-	p.window = append(p.window, cpuNs)
-	if len(p.window) > p.size {
-		p.window = p.window[1:]
+	if len(p.ring) == 0 {
+		return
+	}
+	if p.count == len(p.ring) {
+		p.sum -= p.ring[p.head]
+	} else {
+		p.count++
+	}
+	p.ring[p.head] = cpuNs
+	p.sum += cpuNs
+	if p.head++; p.head == len(p.ring) {
+		p.head = 0
 	}
 }
 
 // PredictHigh predicts whether the next request exceeds the threshold.
 func (p *PastRequests) PredictHigh(thresholdNs float64) bool {
-	if len(p.window) == 0 {
+	if p.count == 0 {
 		return false
 	}
-	return stats.Mean(p.window) > thresholdNs
+	return p.sum/float64(p.count) > thresholdNs
 }
