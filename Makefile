@@ -20,11 +20,13 @@ test:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/distance/... ./internal/cluster/...
-	$(GO) test -run '^$$' -bench 'BenchmarkPairwiseMatrix|BenchmarkIdentify' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPairwiseMatrix|BenchmarkIdentify|BenchmarkObsOverhead' -benchtime=1x .
 
-# bench-json runs the full root benchmark sweep once and records it as a
-# machine-readable perf snapshot named after the current commit — the
-# BENCH_*.json trajectory future PRs diff against.
+# bench-json runs the full root benchmark sweep once (BenchmarkObsOverhead
+# included via `-bench .`) and records it as a machine-readable perf
+# snapshot named after the current commit — the BENCH_*.json trajectory
+# future PRs diff against. The -obs flag additionally embeds fig1's
+# observability run report (span totals, sampler overhead accounting).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem . \
-		| $(GO) run ./cmd/benchjson -out BENCH_$$(git rev-parse --short HEAD).json
+		| $(GO) run ./cmd/benchjson -obs fig1 -out BENCH_$$(git rev-parse --short HEAD).json

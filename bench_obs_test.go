@@ -1,0 +1,71 @@
+// BenchmarkObsOverhead quantifies the observability layer's cost on the
+// two hottest instrumented paths — the simulated kernel's scheduling loop
+// and the signature service's per-update cascade — with the collector
+// detached (the production default: nil handles, one branch per hook
+// site), fully attached, and attached in 1-in-64 sampling mode. The
+// disabled/enabled ratio is the ISSUE's <2% regression budget.
+//
+// Run with:
+//
+//	go test -bench BenchmarkObsOverhead -benchmem
+package repro_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/signature"
+	"repro/internal/workload"
+)
+
+// BenchmarkObsOverhead/kernel-* run a small closed-loop web workload (the
+// highest event rate per request of the five applications) through
+// core.Run; /session-* stream prefixes through the sharded signature
+// service as in BenchmarkIdentifyService.
+func BenchmarkObsOverhead(b *testing.B) {
+	kernelRun := func(b *testing.B, col *obs.Collector) {
+		app := workload.NewWebServer()
+		opts := core.Options{App: app, Requests: 40, Seed: 7}
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(opts,
+				core.WithSampling(core.DefaultSampling(app)),
+				core.WithObserver(col))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Store.Len() != 40 {
+				b.Fatalf("traced %d/40", res.Store.Len())
+			}
+		}
+	}
+	b.Run("kernel-off", func(b *testing.B) { kernelRun(b, nil) })
+	b.Run("kernel-on", func(b *testing.B) { kernelRun(b, obs.New("bench")) })
+	b.Run("kernel-sampled", func(b *testing.B) {
+		col := obs.New("bench")
+		col.SetSampleEvery(64)
+		kernelRun(b, col)
+	})
+
+	sessionRun := func(b *testing.B, col *obs.Collector) {
+		bank, streams := identifyFixture()
+		svc := signature.NewService(signature.NewMatcher(bank), 0)
+		svc.SetObserver(col)
+		var ids atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			id := ids.Add(1) << 32
+			for pb.Next() {
+				id++
+				stream := streams[int(id)%len(streams)]
+				for _, v := range stream {
+					svc.Observe(id, v)
+				}
+				svc.Finish(id)
+			}
+		})
+	}
+	b.Run("session-off", func(b *testing.B) { sessionRun(b, nil) })
+	b.Run("session-on", func(b *testing.B) { sessionRun(b, obs.New("bench")) })
+}

@@ -9,6 +9,13 @@
 // Every benchmark line becomes an object with its iteration count, ns/op,
 // and all custom metrics (including B/op and allocs/op when -benchmem is
 // on); goos/goarch/cpu header lines are carried into the envelope.
+//
+// With -obs LIST (comma-separated registry names), benchjson additionally
+// runs those experiments at -obs-scale under an observability collector and
+// embeds each run report in the envelope, so the perf snapshot carries span
+// totals and sampler-overhead accounting alongside the benchmark numbers.
+// When stdin is a terminal (no piped bench output), parsing is skipped and
+// the envelope holds only the observability reports.
 package main
 
 import (
@@ -16,10 +23,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -39,14 +50,28 @@ type Report struct {
 	Pkg         string      `json:"pkg,omitempty"`
 	CPU         string      `json:"cpu,omitempty"`
 	Benchmarks  []Benchmark `json:"benchmarks"`
+	// Obs carries observability run reports for the experiments named by
+	// -obs, keyed by collector label (one report per experiment run).
+	Obs []*obs.Report `json:"obs,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	obsList := flag.String("obs", "", "comma-separated registry experiments to run under a collector")
+	obsScale := flag.Float64("obs-scale", 0.1, "request-count scale for -obs runs")
+	obsSeed := flag.Int64("obs-seed", 1, "seed for -obs runs")
 	flag.Parse()
 
 	rep := Report{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
-	sc := bufio.NewScanner(os.Stdin)
+	if *obsList != "" {
+		reports, err := runObs(*obsList, *obsScale, *obsSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		rep.Obs = reports
+	}
+	sc := bufio.NewScanner(stdinOrEmpty())
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -85,6 +110,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// stdinOrEmpty returns stdin, or an empty reader when stdin is an
+// interactive terminal (running `benchjson -obs ...` with nothing piped
+// must not hang waiting for bench output).
+func stdinOrEmpty() io.Reader {
+	if st, err := os.Stdin.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+		return strings.NewReader("")
+	}
+	return os.Stdin
+}
+
+// runObs runs the named registry experiments, each under its own
+// collector, and returns the resulting run reports in request order.
+func runObs(list string, scale float64, seed int64) ([]*obs.Report, error) {
+	var reports []*obs.Report
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, ok := experiments.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s)",
+				name, strings.Join(experiments.Names(), ","))
+		}
+		col := obs.New(name)
+		if _, err := e.Run(experiments.Config{Seed: seed, Scale: scale, Obs: col}); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		reports = append(reports, col.Report())
+	}
+	return reports, nil
 }
 
 // parseLine parses one result line, e.g.

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	rbvrepro [-seed N] [-scale F] [-run LIST]
+//	rbvrepro [-seed N] [-scale F] [-run LIST] [-json FILE] [-trace] [-obs-sample N]
 //
-// where LIST is a comma-separated subset of
-// table1,table2,fig1,...,fig13 (default: everything, in paper order).
+// where LIST is a comma-separated subset of the experiment registry
+// (default: everything, in paper order; see experiments.Registry). -json
+// writes an observability run report ("-" = stdout) and -trace prints the
+// human-readable span/counter summary; either flag attaches a collector to
+// every run. Collectors never change results (see package obs).
 package main
 
 import (
@@ -17,81 +20,104 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
-
-// experiment is one runnable unit: every table and figure of the paper.
-type experiment struct {
-	name string
-	run  func(experiments.Config) (fmt.Stringer, error)
-}
-
-func wrap[T fmt.Stringer](fn func(experiments.Config) (T, error)) func(experiments.Config) (fmt.Stringer, error) {
-	return func(cfg experiments.Config) (fmt.Stringer, error) {
-		r, err := fn(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return r, nil
-	}
-}
-
-var all = []experiment{
-	{"fig1", wrap(experiments.Figure1)},
-	{"fig2", wrap(experiments.Figure2)},
-	{"table1", wrap(experiments.Table1)},
-	{"fig3", wrap(experiments.Figure3)},
-	{"fig4", wrap(experiments.Figure4)},
-	{"fig5", wrap(experiments.Figure5)},
-	{"table2", wrap(experiments.Table2)},
-	{"fig6", wrap(experiments.Figure6)},
-	{"fig7", wrap(experiments.Figure7)},
-	{"fig8", wrap(experiments.Figure8)},
-	{"fig9", wrap(experiments.Figure9)},
-	{"fig10", wrap(experiments.Figure10)},
-	{"fig11", wrap(experiments.Figure11)},
-	{"fig12", wrap(experiments.Figure12)},
-	{"fig13", wrap(experiments.Figure13)},
-	{"ablations", wrap(experiments.Ablations)},
-}
 
 func main() {
 	seed := flag.Int64("seed", 1, "master random seed (runs are reproducible per seed)")
 	scale := flag.Float64("scale", 1.0, "request-count scale factor (1.0 = full evaluation)")
-	runList := flag.String("run", "", "comma-separated experiments to run (default all): fig1..fig13,table1,table2,ablations")
+	runList := flag.String("run", "", "comma-separated experiments to run (default all, in paper order)")
+	jsonOut := flag.String("json", "", "write the observability run report as JSON to this file (\"-\" = stdout)")
+	traceOut := flag.Bool("trace", false, "print the observability span/counter summary after the runs")
+	obsSample := flag.Uint64("obs-sample", 1, "record 1 in N observations of the highest-frequency span series")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
-
-	selected := all
-	if *runList != "" {
-		want := map[string]bool{}
-		for _, name := range strings.Split(*runList, ",") {
-			want[strings.TrimSpace(name)] = true
-		}
-		selected = nil
-		for _, e := range all {
-			if want[e.name] {
-				selected = append(selected, e)
-				delete(want, e.name)
-			}
-		}
-		if len(want) > 0 {
-			var unknown []string
-			for name := range want {
-				unknown = append(unknown, name)
-			}
-			fmt.Fprintf(os.Stderr, "rbvrepro: unknown experiments: %s\n", strings.Join(unknown, ","))
-			os.Exit(2)
-		}
+	selected, err := selectExperiments(*runList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbvrepro: %v\n", err)
+		os.Exit(2)
 	}
 
+	var col *obs.Collector
+	if *jsonOut != "" || *traceOut {
+		col = obs.New("rbvrepro")
+		col.SetSampleEvery(*obsSample)
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Obs: col}
+
+	// With the JSON report on stdout, the human-readable tables move to
+	// stderr so the report stays a clean machine-parseable stream.
+	text := os.Stdout
+	if *jsonOut == "-" {
+		text = os.Stderr
+	}
 	for _, e := range selected {
 		start := time.Now()
-		result, err := e.run(cfg)
+		result, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rbvrepro: %s failed: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "rbvrepro: %s failed: %v\n", e.Name(), err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (%.1fs) ====\n\n%s\n", e.name, time.Since(start).Seconds(), result)
+		fmt.Fprintf(text, "==== %s (%.1fs) ====\n\n%s\n", e.Name(), time.Since(start).Seconds(), result)
 	}
+
+	if col == nil {
+		return
+	}
+	rep := col.Report()
+	if *traceOut {
+		fmt.Fprint(text, rep.Summary())
+	}
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rbvrepro: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "rbvrepro: write report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// selectExperiments resolves a comma-separated name list against the
+// registry, preserving paper order; an empty list selects everything.
+// Unknown names are an error carrying the full set of valid names.
+func selectExperiments(list string) ([]experiments.Experiment, error) {
+	reg := experiments.Registry()
+	if list == "" {
+		return reg, nil
+	}
+	want := map[string]bool{}
+	var order []string
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" && !want[name] {
+			want[name] = true
+			order = append(order, name)
+		}
+	}
+	var selected []experiments.Experiment
+	for _, e := range reg {
+		if want[e.Name()] {
+			selected = append(selected, e)
+			delete(want, e.Name())
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for _, name := range order {
+			if want[name] {
+				unknown = append(unknown, name)
+			}
+		}
+		return nil, fmt.Errorf("unknown experiments: %s (valid: %s)",
+			strings.Join(unknown, ","), strings.Join(experiments.Names(), ","))
+	}
+	return selected, nil
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectExperimentsDefaultIsEverything(t *testing.T) {
+	sel, err := selectExperiments("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 16 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "ablations" {
+		t.Fatalf("default selection wrong: %d experiments", len(sel))
+	}
+}
+
+func TestSelectExperimentsSubsetKeepsPaperOrder(t *testing.T) {
+	sel, err := selectExperiments("fig7, fig1,table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range sel {
+		names = append(names, e.Name())
+	}
+	if got := strings.Join(names, ","); got != "fig1,table1,fig7" {
+		t.Fatalf("selection = %s, want paper order fig1,table1,fig7", got)
+	}
+}
+
+// Unknown names must be rejected with the full list of valid names — the
+// error the CLI prints before exiting non-zero.
+func TestSelectExperimentsRejectsUnknown(t *testing.T) {
+	_, err := selectExperiments("fig1,fig99,bogus")
+	if err == nil {
+		t.Fatal("unknown names accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"fig99", "bogus", "valid:", "fig1", "ablations"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

@@ -12,16 +12,40 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/distance"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
+)
+
+// Validation and runtime failures returned by Run. All are sentinel values:
+// test with errors.Is; the error actually returned wraps the sentinel with
+// the offending value.
+var (
+	// ErrNoApp reports a missing Options.App.
+	ErrNoApp = errors.New("core: Options.App is required")
+	// ErrNoRequests reports a non-positive Options.Requests.
+	ErrNoRequests = errors.New("core: Options.Requests must be positive")
+	// ErrBadCores reports a negative Options.Cores.
+	ErrBadCores = errors.New("core: Options.Cores must be non-negative")
+	// ErrBadConcurrency reports a negative Options.Concurrency.
+	ErrBadConcurrency = errors.New("core: Options.Concurrency must be non-negative")
+	// ErrBadThreshold reports a missing or non-positive UsageThreshold where
+	// one is required (adaptive policies, co-execution metering).
+	ErrBadThreshold = errors.New("core: a positive UsageThreshold is required")
+	// ErrUnknownPolicy reports a PolicyKind outside the declared constants.
+	ErrUnknownPolicy = errors.New("core: unknown policy")
+	// ErrStalled reports a run whose event queue drained before all
+	// requests completed (a workload/scheduler deadlock).
+	ErrStalled = errors.New("core: run stalled")
 )
 
 // PolicyKind selects the CPU scheduling policy for a run.
@@ -36,6 +60,19 @@ const (
 	// the contention-easing policy (sched.TopologyAware).
 	PolicyTopologyAware
 )
+
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyContentionEasing:
+		return "contention-easing"
+	case PolicyTopologyAware:
+		return "topology-aware"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
 
 // Options configures a workload run.
 type Options struct {
@@ -71,6 +108,58 @@ type Options struct {
 	// NoSwitchPollution stops charging context switches their cache
 	// refill cost.
 	NoSwitchPollution bool
+
+	// observer receives spans and counters for the run; set it with
+	// WithObserver. Nil (the default) leaves the run uninstrumented.
+	observer *obs.Collector
+}
+
+// Option adjusts Options functionally; pass options as trailing arguments
+// to Run. Options apply in order after the literal struct, so a later
+// option overrides both the struct field and any earlier option.
+type Option func(*Options)
+
+// WithSampling sets the tracker configuration (see Options.Sampling).
+func WithSampling(cfg sampling.Config) Option {
+	return func(o *Options) { o.Sampling = cfg }
+}
+
+// WithObserver attaches an observability collector to the run. The run
+// enters a "run" span scope, instruments the kernel and sampling tracker,
+// and records end-of-run totals (events dispatched, preemptions, sampler
+// overhead accounting) into the collector. Instrumentation reads only the
+// virtual clock and values the simulation already computes, so results are
+// bit-identical with or without a collector.
+func WithObserver(c *obs.Collector) Option {
+	return func(o *Options) { o.observer = c }
+}
+
+// validate checks the option set before any simulation state is built.
+func (o *Options) validate() error {
+	if o.App == nil {
+		return ErrNoApp
+	}
+	if o.Requests <= 0 {
+		return fmt.Errorf("%w, got %d", ErrNoRequests, o.Requests)
+	}
+	if o.Cores < 0 {
+		return fmt.Errorf("%w, got %d", ErrBadCores, o.Cores)
+	}
+	if o.Concurrency < 0 {
+		return fmt.Errorf("%w, got %d", ErrBadConcurrency, o.Concurrency)
+	}
+	switch o.Policy {
+	case PolicyRoundRobin, PolicyContentionEasing, PolicyTopologyAware:
+	default:
+		return fmt.Errorf("%w %d", ErrUnknownPolicy, o.Policy)
+	}
+	if o.Policy != PolicyRoundRobin && o.UsageThreshold <= 0 {
+		return fmt.Errorf("%w by policy %v, got %g", ErrBadThreshold, o.Policy, o.UsageThreshold)
+	}
+	if o.MeterCoExecution && o.UsageThreshold <= 0 {
+		return fmt.Errorf("%w by co-execution metering, got %g", ErrBadThreshold, o.UsageThreshold)
+	}
+	return nil
 }
 
 // Result is everything a run produces.
@@ -116,14 +205,19 @@ func SyscallSampling(app workload.App) sampling.Config {
 	}
 }
 
-// Run executes a closed-loop load under the given options.
-func Run(opts Options) (*Result, error) {
-	if opts.App == nil {
-		return nil, fmt.Errorf("core: Options.App is required")
+// Run executes a closed-loop load under the given options. Trailing Option
+// values are applied to opts first (so callers can keep a literal Options
+// and layer WithSampling/WithObserver on top); the combined set is then
+// validated against the typed sentinel errors before any simulation state
+// is built.
+func Run(opts Options, extra ...Option) (*Result, error) {
+	for _, o := range extra {
+		o(&opts)
 	}
-	if opts.Requests <= 0 {
-		return nil, fmt.Errorf("core: Options.Requests must be positive, got %d", opts.Requests)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
+	col := opts.observer
 	eng := sim.NewEngine()
 	kcfg := kernel.DefaultConfig()
 	if opts.NoContention {
@@ -141,12 +235,15 @@ func Run(opts Options) (*Result, error) {
 	}
 	k := kernel.New(eng, kcfg)
 	tk := sampling.NewTracker(k, opts.Sampling)
+	// Scope first, then resolve the instrumented components' handles: span
+	// series attach to the tree under the scope current at setup time.
+	col.Enter("run")
+	defer func() { col.Exit(eng.Now()) }()
+	k.SetObserver(col)
+	tk.SetObserver(col)
 
 	res := &Result{}
 	if opts.Policy != PolicyRoundRobin {
-		if opts.UsageThreshold <= 0 {
-			return nil, fmt.Errorf("core: adaptive policies require a positive UsageThreshold")
-		}
 		mon := sched.NewMonitor(tk, 0.6)
 		k.OnRequestDone(func(run *kernel.RequestRun) { mon.Forget(run) })
 		switch opts.Policy {
@@ -156,15 +253,10 @@ func Run(opts Options) (*Result, error) {
 			res.PolicyStats = pol
 		case PolicyTopologyAware:
 			k.SetPolicy(sched.NewTopologyAware(mon, opts.UsageThreshold))
-		default:
-			return nil, fmt.Errorf("core: unknown policy %d", opts.Policy)
 		}
 	}
 	var meter *sched.CoExecutionMeter
 	if opts.MeterCoExecution {
-		if opts.UsageThreshold <= 0 {
-			return nil, fmt.Errorf("core: metering requires a positive UsageThreshold")
-		}
 		meter = sched.NewCoExecutionMeter(k, opts.UsageThreshold, sim.Millisecond)
 	}
 
@@ -185,7 +277,7 @@ func Run(opts Options) (*Result, error) {
 		res.CoExecution = meter.Result()
 	}
 	if d.Completed() != opts.Requests {
-		return nil, fmt.Errorf("core: run stalled at %d/%d requests", d.Completed(), opts.Requests)
+		return nil, fmt.Errorf("%w at %d/%d requests", ErrStalled, d.Completed(), opts.Requests)
 	}
 	res.Store = tk.Store()
 	res.Samples = tk.Counts
@@ -193,6 +285,18 @@ func Run(opts Options) (*Result, error) {
 	res.ContextSwitches = k.Stats.ContextSwitches
 	res.Syscalls = k.Stats.Syscalls
 	res.WallTime = eng.Now()
+	if col != nil {
+		col.Counter("sim.events_dispatched").Add(eng.Dispatched())
+		col.Counter("kernel.preemptions").Add(k.Stats.Preemptions)
+		col.Counter("kernel.kept_current").Add(k.Stats.KeptCurrent)
+		col.AddSamplerStats(obs.SamplerStats{
+			KernelSamples:    res.Samples.Kernel,
+			InterruptSamples: res.Samples.Interrupt,
+			KernelCostNs:     sampling.KernelSampleCostNs,
+			InterruptCostNs:  sampling.InterruptSampleCostNs,
+			WallNs:           int64(res.WallTime),
+		})
+	}
 	return res, nil
 }
 

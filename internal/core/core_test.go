@@ -1,28 +1,90 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Options{Requests: 1}); err == nil {
-		t.Fatal("missing App should error")
+	web := workload.NewWebServer()
+	cases := []struct {
+		name string
+		opts Options
+		want error
+	}{
+		{"missing app", Options{Requests: 1}, ErrNoApp},
+		{"zero requests", Options{App: web}, ErrNoRequests},
+		{"negative requests", Options{App: web, Requests: -3}, ErrNoRequests},
+		{"negative cores", Options{App: web, Requests: 1, Cores: -1}, ErrBadCores},
+		{"negative concurrency", Options{App: web, Requests: 1, Concurrency: -2}, ErrBadConcurrency},
+		{"policy without threshold", Options{App: web, Requests: 1,
+			Policy: PolicyContentionEasing}, ErrBadThreshold},
+		{"metering without threshold", Options{App: web, Requests: 1,
+			MeterCoExecution: true}, ErrBadThreshold},
+		{"unknown policy", Options{App: web, Requests: 1,
+			Policy: PolicyKind(99), UsageThreshold: 1}, ErrUnknownPolicy},
 	}
-	if _, err := Run(Options{App: workload.NewWebServer()}); err == nil {
-		t.Fatal("zero Requests should error")
+	for _, tc := range cases {
+		_, err := Run(tc.opts)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, not errors.Is %v", tc.name, err, tc.want)
+		}
 	}
-	if _, err := Run(Options{App: workload.NewWebServer(), Requests: 1,
-		Policy: PolicyContentionEasing}); err == nil {
-		t.Fatal("contention easing without threshold should error")
+}
+
+func TestRunOptionsApply(t *testing.T) {
+	app := workload.NewWebServer()
+	col := obs.New("test")
+	res, err := Run(Options{App: app, Requests: 5, Seed: 1},
+		WithSampling(DefaultSampling(app)), WithObserver(col))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Run(Options{App: workload.NewWebServer(), Requests: 1,
-		MeterCoExecution: true}); err == nil {
-		t.Fatal("metering without threshold should error")
+	if res.Samples.Total() == 0 {
+		t.Fatal("WithSampling not applied: no samples recorded")
+	}
+	rep := col.Report()
+	if len(rep.Spans.Children) != 1 || rep.Spans.Children[0].Name != "run" {
+		t.Fatalf("WithObserver not applied: spans = %+v", rep.Spans.Children)
+	}
+	run := rep.Spans.Children[0]
+	var reqNode *obs.SpanReport
+	for _, ch := range run.Children {
+		if ch.Name == "request" {
+			reqNode = ch
+		}
+	}
+	if reqNode == nil || reqNode.Count != 5 {
+		t.Fatalf("request spans = %+v, want count 5", reqNode)
+	}
+	if rep.Sampler == nil || rep.Sampler.OverheadNs <= 0 {
+		t.Fatal("sampler overhead accounting missing")
+	}
+	counters := map[string]uint64{}
+	for _, ct := range rep.Counters {
+		counters[ct.Name] = ct.Value
+	}
+	if counters["sim.events_dispatched"] == 0 {
+		t.Error("events-dispatched counter missing")
+	}
+	if counters["kernel.context_switches"] != res.ContextSwitches {
+		t.Errorf("context switches: counter %d != result %d",
+			counters["kernel.context_switches"], res.ContextSwitches)
+	}
+	if counters["sampling.kernel_samples"]+counters["sampling.interrupt_samples"] != res.Samples.Total() {
+		t.Errorf("sampling counters %d+%d != Counts total %d",
+			counters["sampling.kernel_samples"], counters["sampling.interrupt_samples"],
+			res.Samples.Total())
 	}
 }
 

@@ -12,9 +12,12 @@
 package distance
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // PairFunc returns the dissimilarity between items i and j (i < j) of the
@@ -41,6 +44,11 @@ type MatrixOptions struct {
 	// time; ≤0 picks a size that spreads the triangle's uneven row costs
 	// (row i holds n−1−i cells) across the pool.
 	RowBlock int
+	// Obs, when non-nil, records fill activity into the observability
+	// collector: total cells, cells per worker, and the pool size. The
+	// counters are resolved once per fill — never inside the pair loop —
+	// so an attached collector adds no per-cell work.
+	Obs *obs.Collector
 }
 
 // NewMatrix computes all pairwise distances for an n-item population under
@@ -59,6 +67,19 @@ func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
 	if workers > n-1 {
 		workers = n - 1
 	}
+	if opt.Obs != nil {
+		opt.Obs.Counter("distance.matrix.fills").Add(1)
+		opt.Obs.Gauge("distance.matrix.workers").Set(float64(workers))
+	}
+	// cellsDone reports one worker's fill contribution: the shared total
+	// plus a per-worker counter ("matrix cells filled per worker").
+	cellsDone := func(worker int, cells uint64) {
+		if opt.Obs == nil || cells == 0 {
+			return
+		}
+		opt.Obs.Counter("distance.matrix.cells").Add(cells)
+		opt.Obs.Counter(fmt.Sprintf("distance.matrix.cells.worker%02d", worker)).Add(cells)
+	}
 	fillRow := func(i int) {
 		base := m.tri(i, i+1)
 		for j := i + 1; j < n; j++ {
@@ -69,6 +90,7 @@ func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
 		for i := 0; i < n-1; i++ {
 			fillRow(i)
 		}
+		cellsDone(0, uint64(len(m.vals)))
 		return m
 	}
 	block := opt.RowBlock
@@ -84,11 +106,13 @@ func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			var cells uint64
 			for {
 				lo := int(next.Add(int64(block))) - block
 				if lo >= n-1 {
+					cellsDone(worker, cells)
 					return
 				}
 				hi := lo + block
@@ -97,9 +121,10 @@ func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
 				}
 				for i := lo; i < hi; i++ {
 					fillRow(i)
+					cells += uint64(n - 1 - i)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return m

@@ -47,7 +47,7 @@ func Ablations(cfg Config) (*AblationsResult, error) {
 		res, err := core.Run(core.Options{
 			App: tpch, Requests: n, Sampling: core.DefaultSampling(tpch),
 			NoContention: noContention, Seed: cfg.Seed,
-		})
+		}, core.WithObserver(cfg.Obs))
 		if err != nil {
 			return 0, err
 		}
@@ -73,7 +73,8 @@ func Ablations(cfg Config) (*AblationsResult, error) {
 	meanCPI := func(compensate bool) (float64, error) {
 		scfg := core.DefaultSampling(web)
 		scfg.Compensate = compensate
-		res, err := core.Run(core.Options{App: web, Requests: wn, Sampling: scfg, Seed: cfg.Seed})
+		res, err := core.Run(core.Options{App: web, Requests: wn, Sampling: scfg, Seed: cfg.Seed},
+			core.WithObserver(cfg.Obs))
 		if err != nil {
 			return 0, err
 		}
@@ -98,7 +99,7 @@ func Ablations(cfg Config) (*AblationsResult, error) {
 		res, err := core.Run(core.Options{
 			App: tpch, Requests: n, Sampling: core.DefaultSampling(tpch),
 			NoSwitchPollution: noPollution, Seed: cfg.Seed,
-		})
+		}, core.WithObserver(cfg.Obs))
 		if err != nil {
 			return 0, err
 		}
@@ -121,7 +122,7 @@ func Ablations(cfg Config) (*AblationsResult, error) {
 	// worst-case CPI.
 	calib, err := core.Run(core.Options{
 		App: tpch, Requests: n, Sampling: core.DefaultSampling(tpch), Seed: cfg.Seed,
-	})
+	}, core.WithObserver(cfg.Obs))
 	if err != nil {
 		return nil, fmt.Errorf("ablations topology calib: %w", err)
 	}
@@ -130,7 +131,7 @@ func Ablations(cfg Config) (*AblationsResult, error) {
 		res, err := core.Run(core.Options{
 			App: tpch, Requests: n, Sampling: core.DefaultSampling(tpch),
 			Policy: policy, UsageThreshold: threshold, Seed: cfg.Seed + 1,
-		})
+		}, core.WithObserver(cfg.Obs))
 		if err != nil {
 			return 0, err
 		}

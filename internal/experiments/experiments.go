@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -27,6 +28,12 @@ type Config struct {
 	// Scale multiplies request counts. 1.0 is the default evaluation
 	// scale; tests and quick runs use less.
 	Scale float64
+	// Obs, when non-nil, collects spans and counters across the suite:
+	// registry entries open a span scope per experiment and every workload
+	// run instruments its kernel and sampler (see package obs). Nil — the
+	// default — leaves runs uninstrumented; results are identical either
+	// way.
+	Obs *obs.Collector
 }
 
 // DefaultConfig returns the standard evaluation configuration.
@@ -89,9 +96,8 @@ func runTracked(cfg Config, app workload.App, cores, requests int) (*core.Result
 		App:      app,
 		Cores:    cores,
 		Requests: requests,
-		Sampling: core.DefaultSampling(app),
 		Seed:     cfg.Seed,
-	})
+	}, core.WithSampling(core.DefaultSampling(app)), core.WithObserver(cfg.Obs))
 }
 
 // requestPeakCPI is the per-request 90-percentile CPI over its measured

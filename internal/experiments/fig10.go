@@ -102,6 +102,7 @@ func Figure10(cfg Config) (*Figure10Result, error) {
 		// sharded service. Sessions return exactly what IdentifyPattern
 		// returns for the same prefix, so the curves are unchanged.
 		svc := signature.NewService(signature.NewMatcher(bank), 0)
+		svc.SetObserver(cfg.Obs)
 		for step := 1; step <= 10; step++ {
 			progress := float64(step) * unit
 			var patWrong, avgWrong atomic.Int64

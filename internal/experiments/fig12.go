@@ -53,7 +53,7 @@ func Figure12(cfg Config) (*Figure12Result, error) {
 			o, err := core.Run(core.Options{
 				App: app, Requests: n, Sampling: core.DefaultSampling(app),
 				UsageThreshold: threshold, MeterCoExecution: true, Seed: seed,
-			})
+			}, core.WithObserver(cfg.Obs))
 			if err != nil {
 				return nil, fmt.Errorf("figure12 %s original: %w", app.Name(), err)
 			}
@@ -61,7 +61,7 @@ func Figure12(cfg Config) (*Figure12Result, error) {
 				App: app, Requests: n, Sampling: core.DefaultSampling(app),
 				Policy: core.PolicyContentionEasing, UsageThreshold: threshold,
 				MeterCoExecution: true, Seed: seed,
-			})
+			}, core.WithObserver(cfg.Obs))
 			if err != nil {
 				return nil, fmt.Errorf("figure12 %s eased: %w", app.Name(), err)
 			}

@@ -54,14 +54,14 @@ func Figure13(cfg Config) (*Figure13Result, error) {
 			seed := cfg.Seed + int64(r)*101
 			o, err := core.Run(core.Options{
 				App: app, Requests: n, Sampling: core.DefaultSampling(app), Seed: seed,
-			})
+			}, core.WithObserver(cfg.Obs))
 			if err != nil {
 				return nil, fmt.Errorf("figure13 %s original: %w", app.Name(), err)
 			}
 			e, err := core.Run(core.Options{
 				App: app, Requests: n, Sampling: core.DefaultSampling(app),
 				Policy: core.PolicyContentionEasing, UsageThreshold: threshold, Seed: seed,
-			})
+			}, core.WithObserver(cfg.Obs))
 			if err != nil {
 				return nil, fmt.Errorf("figure13 %s eased: %w", app.Name(), err)
 			}

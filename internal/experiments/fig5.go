@@ -54,7 +54,7 @@ func Figure5(cfg Config) (*Figure5Result, error) {
 		scfg := core.SyscallSampling(app)
 		sys, err := core.Run(core.Options{
 			App: app, Requests: n, Sampling: scfg, Seed: cfg.Seed,
-		})
+		}, core.WithObserver(cfg.Obs))
 		if err != nil {
 			return nil, fmt.Errorf("figure5 %s syscall: %w", app.Name(), err)
 		}
@@ -81,7 +81,7 @@ func Figure5(cfg Config) (*Figure5Result, error) {
 			}
 			sys, err = core.Run(core.Options{
 				App: app, Requests: n, Sampling: scfg, Seed: cfg.Seed,
-			})
+			}, core.WithObserver(cfg.Obs))
 			if err != nil {
 				return nil, fmt.Errorf("figure5 %s recalibrated: %w", app.Name(), err)
 			}

@@ -49,8 +49,8 @@ func Figure6(cfg Config) (*Figure6Result, error) {
 	}
 	// Both measures' pairwise matrices fill in parallel; the ratio scan
 	// then reads precomputed cells.
-	dtwM := distance.NewMatrixFromSequences(patterns, dtw, distance.MatrixOptions{})
-	l1M := distance.NewMatrixFromSequences(patterns, l1, distance.MatrixOptions{})
+	dtwM := distance.NewMatrixFromSequences(patterns, dtw, distance.MatrixOptions{Obs: cfg.Obs})
+	l1M := distance.NewMatrixFromSequences(patterns, l1, distance.MatrixOptions{Obs: cfg.Obs})
 	bestI, bestJ, bestRatio := -1, -1, 0.0
 	var bestL1, bestDTW float64
 	for i := 0; i < len(patterns); i++ {

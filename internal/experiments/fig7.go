@@ -71,7 +71,7 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 
 		// Precompute each measure's full pairwise matrix through the
 		// parallel engine; k-medoids then shares the read-only matrices.
-		opt := distance.MatrixOptions{}
+		opt := distance.MatrixOptions{Obs: cfg.Obs}
 		dists := map[string]*distance.Matrix{
 			"levenshtein-syscalls": distance.NewMatrix(len(traces), func(i, j int) float64 {
 				return float64(distance.Levenshtein(syscalls[i], syscalls[j]))

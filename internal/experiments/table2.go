@@ -46,7 +46,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 			TrainSignals: true,
 		},
 		Seed: cfg.Seed,
-	})
+	}, core.WithObserver(cfg.Obs))
 	if err != nil {
 		return nil, fmt.Errorf("table2 training: %w", err)
 	}
@@ -69,7 +69,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 			Compensate:  true,
 		},
 		Seed: cfg.Seed,
-	})
+	}, core.WithObserver(cfg.Obs))
 	if err != nil {
 		return nil, fmt.Errorf("table2 uniform: %w", err)
 	}
@@ -88,7 +88,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 			Compensate:  true,
 		},
 		Seed: cfg.Seed,
-	})
+	}, core.WithObserver(cfg.Obs))
 	if err != nil {
 		return nil, fmt.Errorf("table2 signal: %w", err)
 	}

@@ -111,11 +111,18 @@ func (k *Kernel) switchIn(c *coreState, t *Thread) {
 	if k.hooks.SwitchIn != nil {
 		k.hooks.SwitchIn(c.id, run)
 	}
+	if k.kobs.switches != nil {
+		k.kobs.switches.Add(1)
+	}
 	// Direct switch cost plus cache re-warming land in the incoming
 	// request's first period, as on real hardware.
 	cost := k.cfg.CtxSwitchCost
 	if k.cfg.PollutionOnSwitch {
-		cost = cost.Add(k.mach.PollutionEvents(&act))
+		poll := k.mach.PollutionEvents(&act)
+		if k.kobs.pollution != nil {
+			k.kobs.pollution.Add(poll.Cycles)
+		}
+		cost = cost.Add(poll)
 	}
 	k.mach.Inject(c.id, cost)
 
@@ -311,6 +318,9 @@ func (k *Kernel) handleSyscall(c *coreState, name string, blockProb, blockMeanNs
 	if k.hooks.Syscall != nil {
 		k.hooks.Syscall(c.id, run, name)
 	}
+	if k.kobs.syscalls != nil {
+		k.kobs.syscalls.Add(1)
+	}
 	k.mach.Inject(c.id, k.cfg.SyscallCost)
 	if blockProb > 0 && run.Req.RNG.Bool(blockProb) {
 		dur := run.Req.RNG.Exp(blockMeanNs)
@@ -340,6 +350,13 @@ func (k *Kernel) blockForIO(c *coreState, d sim.Time) {
 func (k *Kernel) advancePhase(c *coreState) {
 	t := c.cur
 	run := t.Run
+	if k.kobs.phases != nil {
+		// The completed phase's span: from when the phase began (request
+		// submission for the first) to now. Phase spans tile the request
+		// span exactly.
+		k.kobs.phases.Observe(k.eng.Now() - run.phaseStart)
+	}
+	run.phaseStart = k.eng.Now()
 	run.phase++
 	run.insInPhase = 0
 	run.syscallIdx = 0
@@ -422,6 +439,9 @@ func (k *Kernel) finishRequest(c *coreState) {
 	}
 	run.waiters = nil
 	k.releaseWorker(t)
+	if k.kobs.requests != nil {
+		k.kobs.requests.Observe(run.End - run.Submit)
+	}
 	if k.hooks.RequestDone != nil {
 		k.hooks.RequestDone(run)
 	}

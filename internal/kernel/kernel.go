@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -115,8 +116,9 @@ type RequestRun struct {
 	Submit, Start, End sim.Time
 
 	phase       int
-	insIntoRun  float64 // app instructions completed over the whole request
-	insInPhase  float64 // app instructions completed in the current phase
+	phaseStart  sim.Time // when the current phase began (observability spans)
+	insIntoRun  float64  // app instructions completed over the whole request
+	insInPhase  float64  // app instructions completed in the current phase
 	nextSyscall float64 // insInPhase position of the next within-phase syscall
 	syscallIdx  int     // cycles through Phase.Syscalls
 	entryPend   string  // syscall to issue before the current phase starts
@@ -163,12 +165,24 @@ type coreState struct {
 	syncedAppIns float64
 }
 
+// kernelObs holds the kernel's resolved observability handles. All fields
+// are nil when no collector is attached, so each hook site costs one
+// branch (see package obs).
+type kernelObs struct {
+	requests  *obs.SpanSeries // request latency spans (submit → completion)
+	phases    *obs.SpanSeries // per-phase spans (phase begin → advance)
+	switches  *obs.Counter    // context switches performed
+	syscalls  *obs.Counter    // system calls dispatched
+	pollution *obs.Counter    // cache-pollution cycles charged at switch-in
+}
+
 // Kernel is the simulated operating system instance.
 type Kernel struct {
 	eng   *sim.Engine
 	mach  *machine.Machine
 	cfg   Config
 	hooks Hooks
+	kobs  kernelObs
 
 	cores        []*coreState
 	idleWorkers  [][]*Thread // per tier
@@ -219,6 +233,24 @@ func (k *Kernel) Config() Config { return k.cfg }
 // SetHooks installs the sampling layer's hooks. Must be called before the
 // simulation starts.
 func (k *Kernel) SetHooks(h Hooks) { k.hooks = h }
+
+// SetObserver attaches the observability collector, resolving span and
+// counter handles under the collector's current scope. A nil collector
+// leaves the kernel uninstrumented. Must be called before the simulation
+// starts. Instrumentation reads only the virtual clock and state the
+// kernel already computes, so it cannot change any simulation outcome.
+func (k *Kernel) SetObserver(c *obs.Collector) {
+	if c == nil {
+		return
+	}
+	k.kobs = kernelObs{
+		requests:  c.Span("request"),
+		phases:    c.Span("request", "phase"),
+		switches:  c.Counter("kernel.context_switches"),
+		syscalls:  c.Counter("kernel.syscalls"),
+		pollution: c.Counter("kernel.pollution_cycles"),
+	}
+}
 
 // SetPolicy replaces the scheduling policy. Must be called before the
 // simulation starts (policies that depend on the sampling layer are built
@@ -272,6 +304,7 @@ func (k *Kernel) Submit(req *workload.Request) *RequestRun {
 	run := &RequestRun{
 		Req:         req,
 		Submit:      k.eng.Now(),
+		phaseStart:  k.eng.Now(),
 		nextSyscall: math.Inf(1),
 		entryPend:   req.Phases[0].EntrySyscall,
 		phaseFresh:  true,

@@ -1,0 +1,376 @@
+// Package obs is the reproduction's observability layer: deterministic
+// tracing and metrics for the simulated pipeline, in the spirit of the
+// paper's Section 3 — which measures the measurement itself (per-sample
+// costs, observer-effect events, overhead percentages) — extended to the
+// whole stack: the simulated kernel, the samplers, the pairwise-distance
+// engine, and the signature-serving fast path.
+//
+// Three properties drive the design:
+//
+//   - Spans are keyed to the *simulated* clock. A span's duration is a
+//     sim.Time delta read from the virtual event clock, never from the wall
+//     clock, so enabling the collector cannot perturb any experiment's
+//     output: instrumentation reads state the simulation already computes
+//     and writes none back.
+//
+//   - Disabled costs one branch. Hook sites hold typed handles (*Counter,
+//     *SpanSeries) resolved once at setup; when no collector is attached the
+//     handle is nil and the hook is a single predictable nil-check. There is
+//     no map lookup, lock, or allocation on any hot path.
+//
+//   - Aggregation, not event logs. Spans of the same path (run → experiment
+//     → request → phase → sample) accumulate into one tree node each
+//     (count, total, max), so a million-sample run costs a few hundred
+//     bytes of state and the report is O(tree), not O(events).
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonic event counter. The zero of the API is a nil
+// *Counter, on which Add is a no-op — hook sites call unconditionally or
+// guard with a single nil-check.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on a nil receiver and for
+// concurrent use.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a last-value metric (pool sizes, worker counts). Nil-safe like
+// Counter.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set records the gauge's current value. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last value set (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// node is one aggregation point of the span tree. Count/total/max are
+// atomics so leaf observations need no lock; the child list is guarded by
+// the collector's mutex (children are created at setup time, not in hot
+// loops).
+type node struct {
+	name     string
+	children []*node
+	byName   map[string]*node
+	count    atomic.Uint64
+	totalNs  atomic.Int64
+	maxNs    atomic.Int64
+}
+
+func (n *node) child(name string) *node {
+	if c, ok := n.byName[name]; ok {
+		return c
+	}
+	c := &node{name: name, byName: map[string]*node{}}
+	if n.byName == nil {
+		n.byName = map[string]*node{}
+	}
+	n.byName[name] = c
+	n.children = append(n.children, c)
+	return c
+}
+
+func (n *node) observe(d sim.Time) {
+	n.count.Add(1)
+	n.totalNs.Add(int64(d))
+	for {
+		cur := n.maxNs.Load()
+		if int64(d) <= cur || n.maxNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// SpanSeries is a resolved handle onto one span-tree node: an aggregated
+// stream of same-kind spans (all requests of a run, all samples of a
+// phase). Handles are resolved once at setup via Collector.Span and held by
+// the instrumented component; a nil handle makes Observe a no-op.
+type SpanSeries struct {
+	n *node
+	// every downsamples the series: only the first of each stride of
+	// `every` observations is recorded (1 records all). The stride counter
+	// advances deterministically with the — deterministic — call sequence,
+	// so a sampled report is itself reproducible.
+	every uint64
+	seen  atomic.Uint64
+}
+
+// Observe records one completed span of virtual duration d. Safe on a nil
+// receiver and for concurrent use.
+func (s *SpanSeries) Observe(d sim.Time) {
+	if s == nil {
+		return
+	}
+	if s.every > 1 && (s.seen.Add(1)-1)%s.every != 0 {
+		return
+	}
+	s.n.observe(d)
+}
+
+// Collector gathers spans, counters, and gauges for one run of the
+// pipeline. A nil *Collector is the disabled state: every method is a
+// no-op (or returns a nil handle), so callers thread it unconditionally.
+//
+// Scopes (Enter/Exit) build the span hierarchy: the registry enters an
+// experiment scope, core.Run enters a run scope beneath it, and the
+// instrumented subsystems resolve leaf series (request, phase, sample)
+// under whatever scope is current at setup. Scope changes take the
+// collector's lock; leaf observations are lock-free.
+type Collector struct {
+	mu          sync.Mutex
+	root        node
+	cur         *node
+	counters    []*Counter
+	counterByNm map[string]*Counter
+	gauges      []*Gauge
+	gaugeByNm   map[string]*Gauge
+	sampleEvery uint64
+	sampler     SamplerStats
+}
+
+// New returns an enabled collector whose root span carries the given label
+// (e.g. the command name or test name).
+func New(label string) *Collector {
+	c := &Collector{
+		root:        node{name: label, byName: map[string]*node{}},
+		counterByNm: map[string]*Counter{},
+		gaugeByNm:   map[string]*Gauge{},
+		sampleEvery: 1,
+	}
+	c.cur = &c.root
+	c.root.count.Store(1)
+	return c
+}
+
+// SetSampleEvery puts the collector in sampling mode: span series resolved
+// via SampledSpan afterwards record only one observation in every n. n < 1
+// is treated as 1 (record everything). Set before instrumenting.
+func (c *Collector) SetSampleEvery(n uint64) {
+	if c == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.sampleEvery = n
+	c.mu.Unlock()
+}
+
+// Enter descends into (creating on first use) the named child scope of the
+// current scope and counts one entry. No-op on a nil collector.
+func (c *Collector) Enter(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cur = c.cur.child(name)
+	c.cur.count.Add(1)
+	c.mu.Unlock()
+}
+
+// Exit closes the current scope, adding the scope's own virtual duration d
+// (0 for scopes whose time lives in their children), and ascends. Exiting
+// the root is a no-op. No-op on a nil collector.
+func (c *Collector) Exit(d sim.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.cur != &c.root {
+		c.cur.totalNs.Add(int64(d))
+		if int64(d) > c.cur.maxNs.Load() {
+			c.cur.maxNs.Store(int64(d))
+		}
+		c.cur = c.parentOf(c.cur)
+	}
+	c.mu.Unlock()
+}
+
+// parentOf finds a node's parent by walking from the root; scope stacks are
+// a handful deep, so the walk is trivially cheap and saves a parent pointer
+// per node. Caller holds c.mu.
+func (c *Collector) parentOf(target *node) *node {
+	var walk func(n *node) *node
+	walk = func(n *node) *node {
+		for _, ch := range n.children {
+			if ch == target {
+				return n
+			}
+			if p := walk(ch); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	if p := walk(&c.root); p != nil {
+		return p
+	}
+	return &c.root
+}
+
+// Span resolves a span-series handle at path under the current scope,
+// creating tree nodes as needed. Returns nil on a nil collector, so the
+// handle itself carries the enabled/disabled state.
+func (c *Collector) Span(path ...string) *SpanSeries {
+	return c.span(1, path)
+}
+
+// SampledSpan is Span honoring the collector's sampling mode: in a
+// collector configured with SetSampleEvery(n), the returned series records
+// one observation in every n. Use for the highest-frequency series (the
+// per-sample spans).
+func (c *Collector) SampledSpan(path ...string) *SpanSeries {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	every := c.sampleEvery
+	c.mu.Unlock()
+	return c.span(every, path)
+}
+
+func (c *Collector) span(every uint64, path []string) *SpanSeries {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	n := c.cur
+	for _, p := range path {
+		n = n.child(p)
+	}
+	c.mu.Unlock()
+	return &SpanSeries{n: n, every: every}
+}
+
+// Counter returns the named counter, creating it on first use. The same
+// name always returns the same counter, so independent runs accumulate.
+// Returns nil on a nil collector.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ct, ok := c.counterByNm[name]; ok {
+		return ct
+	}
+	ct := &Counter{name: name}
+	c.counterByNm[name] = ct
+	c.counters = append(c.counters, ct)
+	return ct
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on
+// a nil collector.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.gaugeByNm[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	c.gaugeByNm[name] = g
+	c.gauges = append(c.gauges, g)
+	return g
+}
+
+// SamplerStats is one run's sampling-overhead accounting in the paper's
+// Table 1 terms: sample counts per context times the measured per-sample
+// cost, against the run's simulated wall time.
+type SamplerStats struct {
+	// KernelSamples and InterruptSamples count samples per context.
+	KernelSamples, InterruptSamples uint64
+	// KernelCostNs and InterruptCostNs are the per-sample costs (Table 1,
+	// Mbench-Spin).
+	KernelCostNs, InterruptCostNs float64
+	// WallNs is the run's simulated duration.
+	WallNs int64
+}
+
+// OverheadNs returns the estimated total sampling overhead.
+func (s SamplerStats) OverheadNs() float64 {
+	return float64(s.KernelSamples)*s.KernelCostNs + float64(s.InterruptSamples)*s.InterruptCostNs
+}
+
+// OverheadPct returns the overhead as a percentage of simulated wall time
+// (0 when no wall time was recorded).
+func (s SamplerStats) OverheadPct() float64 {
+	if s.WallNs <= 0 {
+		return 0
+	}
+	return 100 * s.OverheadNs() / float64(s.WallNs)
+}
+
+// AddSamplerStats accumulates one run's sampler accounting into the
+// collector (counts and wall time add; per-sample costs adopt the latest
+// non-zero values). No-op on a nil collector.
+func (c *Collector) AddSamplerStats(s SamplerStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sampler.KernelSamples += s.KernelSamples
+	c.sampler.InterruptSamples += s.InterruptSamples
+	c.sampler.WallNs += s.WallNs
+	if s.KernelCostNs > 0 {
+		c.sampler.KernelCostNs = s.KernelCostNs
+	}
+	if s.InterruptCostNs > 0 {
+		c.sampler.InterruptCostNs = s.InterruptCostNs
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Every method must be a no-op (or return nil handles) on a nil collector —
+// this is the disabled state the whole pipeline threads unconditionally.
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Enter("scope")
+	c.Exit(5)
+	c.SetSampleEvery(10)
+	c.AddSamplerStats(SamplerStats{KernelSamples: 1})
+	if s := c.Span("a", "b"); s != nil {
+		t.Errorf("Span on nil collector = %v, want nil", s)
+	}
+	if s := c.SampledSpan("a"); s != nil {
+		t.Errorf("SampledSpan on nil collector = %v, want nil", s)
+	}
+	if ct := c.Counter("x"); ct != nil {
+		t.Errorf("Counter on nil collector = %v, want nil", ct)
+	}
+	if g := c.Gauge("x"); g != nil {
+		t.Errorf("Gauge on nil collector = %v, want nil", g)
+	}
+	if r := c.Report(); r != nil {
+		t.Errorf("Report on nil collector = %v, want nil", r)
+	}
+
+	// Nil handles are the hot-path disabled state.
+	var span *SpanSeries
+	span.Observe(7)
+	var ct *Counter
+	ct.Add(3)
+	if ct.Value() != 0 || ct.Name() != "" {
+		t.Error("nil counter leaked state")
+	}
+	var g *Gauge
+	g.Set(1.5)
+	if g.Value() != 0 || g.Name() != "" {
+		t.Error("nil gauge leaked state")
+	}
+}
+
+func TestSpanTreeAggregation(t *testing.T) {
+	c := New("test")
+	c.Enter("exp")
+	c.Enter("run")
+	req := c.Span("request")
+	phase := c.Span("request", "phase")
+	req.Observe(100)
+	req.Observe(300)
+	phase.Observe(60)
+	c.Exit(400) // the run scope's own duration
+	c.Exit(0)
+
+	r := c.Report()
+	if r.Label != "test" {
+		t.Errorf("label = %q", r.Label)
+	}
+	run := r.Spans.Children[0].Children[0]
+	if run.Name != "run" || run.Count != 1 || run.TotalNs != 400 {
+		t.Errorf("run node = %+v", run)
+	}
+	reqN := run.Children[0]
+	if reqN.Name != "request" || reqN.Count != 2 || reqN.TotalNs != 400 || reqN.MaxNs != 300 {
+		t.Errorf("request node = %+v", reqN)
+	}
+	ph := reqN.Children[0]
+	if ph.Name != "phase" || ph.Count != 1 || ph.TotalNs != 60 {
+		t.Errorf("phase node = %+v", ph)
+	}
+}
+
+// Re-entering a scope by name reuses the node, so repeated runs of the same
+// experiment aggregate instead of fanning out.
+func TestScopeReuseAggregates(t *testing.T) {
+	c := New("test")
+	for i := 0; i < 3; i++ {
+		c.Enter("run")
+		c.Exit(sim.Time(10 * (i + 1)))
+	}
+	r := c.Report()
+	if len(r.Spans.Children) != 1 {
+		t.Fatalf("children = %d, want 1 reused node", len(r.Spans.Children))
+	}
+	run := r.Spans.Children[0]
+	if run.Count != 3 || run.TotalNs != 60 || run.MaxNs != 30 {
+		t.Errorf("run node = %+v", run)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	c := New("test")
+	a := c.Counter("a")
+	a.Add(2)
+	if again := c.Counter("a"); again != a {
+		t.Error("same name should return the same counter")
+	}
+	c.Counter("a").Add(3)
+	c.Counter("b").Add(1)
+	c.Gauge("w").Set(4)
+
+	// Concurrent adds must not lose counts.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	r := c.Report()
+	if len(r.Counters) != 2 || r.Counters[0].Name != "a" || r.Counters[1].Name != "b" {
+		t.Fatalf("counters = %+v (registration order expected)", r.Counters)
+	}
+	if r.Counters[0].Value != 8005 {
+		t.Errorf("a = %d, want 8005", r.Counters[0].Value)
+	}
+	if len(r.Gauges) != 1 || r.Gauges[0].Value != 4 {
+		t.Errorf("gauges = %+v", r.Gauges)
+	}
+}
+
+func TestSampledSpanStride(t *testing.T) {
+	c := New("test")
+	c.SetSampleEvery(4)
+	s := c.SampledSpan("sample")
+	for i := 0; i < 10; i++ {
+		s.Observe(10)
+	}
+	r := c.Report()
+	sample := r.Spans.Children[0]
+	// Observations 0, 4, 8 are recorded: deterministic 1-in-4 stride.
+	if sample.Count != 3 || sample.TotalNs != 30 {
+		t.Errorf("sampled node = %+v, want count=3 total=30", sample)
+	}
+	if r.SampleEvery != 4 {
+		t.Errorf("SampleEvery = %d", r.SampleEvery)
+	}
+
+	// Span (unsampled) ignores the collector's sampling mode.
+	full := c.Span("full")
+	for i := 0; i < 10; i++ {
+		full.Observe(1)
+	}
+	if n := c.Report().Spans.Children[1]; n.Count != 10 {
+		t.Errorf("unsampled count = %d, want 10", n.Count)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	c := New("round")
+	c.Enter("run")
+	c.Span("request").Observe(123)
+	c.Exit(123)
+	c.Counter("k").Add(7)
+	c.AddSamplerStats(SamplerStats{
+		KernelSamples: 100, InterruptSamples: 50,
+		KernelCostNs: 423.3, InterruptCostNs: 758.7,
+		WallNs: 1_000_000,
+	})
+
+	var buf bytes.Buffer
+	if err := c.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if back.Label != "round" || back.Spans == nil || back.Spans.Children[0].Name != "run" {
+		t.Errorf("round trip lost spans: %+v", back)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 7 {
+		t.Errorf("round trip lost counters: %+v", back.Counters)
+	}
+	if back.Sampler == nil {
+		t.Fatal("round trip lost sampler accounting")
+	}
+	wantOverhead := 100*423.3 + 50*758.7
+	if back.Sampler.OverheadNs != wantOverhead {
+		t.Errorf("overhead = %g, want %g", back.Sampler.OverheadNs, wantOverhead)
+	}
+	if pct := back.Sampler.OverheadPct; pct < 7.9 || pct > 8.1 {
+		t.Errorf("overhead pct = %g, want ~8.0", pct)
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	c := New("sum")
+	c.Enter("fig1")
+	c.Enter("run")
+	c.Span("request").Observe(2 * sim.Millisecond)
+	c.Exit(2 * sim.Millisecond)
+	c.Exit(0)
+	c.Counter("kernel.context_switches").Add(42)
+	c.AddSamplerStats(SamplerStats{
+		KernelSamples: 10, InterruptSamples: 20,
+		KernelCostNs: 423.3, InterruptCostNs: 758.7,
+		WallNs: int64(10 * sim.Millisecond),
+	})
+	s := c.Report().Summary()
+	for _, want := range []string{
+		"observability report: sum",
+		"spans (virtual clock):",
+		"fig1", "run", "request",
+		"counters:",
+		"kernel.context_switches",
+		"sampling overhead (Table 1 accounting):",
+		"in-kernel", "interrupt", "ns/sample",
+		"% of", "simulated",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// AddSamplerStats must accumulate counts/wall across runs while adopting
+// the per-sample costs.
+func TestSamplerStatsAccumulate(t *testing.T) {
+	c := New("acc")
+	c.AddSamplerStats(SamplerStats{KernelSamples: 5, KernelCostNs: 400, WallNs: 100})
+	c.AddSamplerStats(SamplerStats{KernelSamples: 7, InterruptSamples: 2, KernelCostNs: 423.3, InterruptCostNs: 758.7, WallNs: 50})
+	s := c.Report().Sampler
+	if s.KernelSamples != 12 || s.InterruptSamples != 2 || s.WallNs != 150 {
+		t.Errorf("accumulated = %+v", s)
+	}
+	if s.KernelCostNs != 423.3 {
+		t.Errorf("cost should adopt latest non-zero: %g", s.KernelCostNs)
+	}
+}

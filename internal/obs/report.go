@@ -1,0 +1,168 @@
+// Report extraction and the two exporters: machine-readable JSON (the
+// cmd/benchjson envelope and rbvrepro -json) and a human summary that
+// reprints Table 1-style overhead accounting for any run (rbvrepro -trace).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// SpanReport is one aggregated node of the exported span tree.
+type SpanReport struct {
+	Name     string        `json:"name"`
+	Count    uint64        `json:"count"`
+	TotalNs  int64         `json:"total_ns,omitempty"`
+	MaxNs    int64         `json:"max_ns,omitempty"`
+	Children []*SpanReport `json:"children,omitempty"`
+}
+
+// CounterReport is one exported counter.
+type CounterReport struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeReport is one exported gauge.
+type GaugeReport struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// SamplerReport is the exported Table 1-style overhead accounting.
+type SamplerReport struct {
+	KernelSamples    uint64  `json:"kernel_samples"`
+	InterruptSamples uint64  `json:"interrupt_samples"`
+	KernelCostNs     float64 `json:"kernel_cost_ns"`
+	InterruptCostNs  float64 `json:"interrupt_cost_ns"`
+	OverheadNs       float64 `json:"overhead_ns"`
+	WallNs           int64   `json:"wall_ns"`
+	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+// Report is a collector's frozen, serializable state: span totals in
+// virtual time, counters, gauges, and sampler overhead accounting.
+type Report struct {
+	Label       string          `json:"label"`
+	SampleEvery uint64          `json:"sample_every,omitempty"`
+	Spans       *SpanReport     `json:"spans"`
+	Counters    []CounterReport `json:"counters,omitempty"`
+	Gauges      []GaugeReport   `json:"gauges,omitempty"`
+	Sampler     *SamplerReport  `json:"sampler,omitempty"`
+}
+
+// Report snapshots the collector. Child order is creation order, counter
+// order is registration order — both deterministic for a deterministic
+// instrumentation sequence. Returns nil on a nil collector.
+func (c *Collector) Report() *Report {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &Report{Label: c.root.name, Spans: exportNode(&c.root)}
+	if c.sampleEvery > 1 {
+		r.SampleEvery = c.sampleEvery
+	}
+	for _, ct := range c.counters {
+		r.Counters = append(r.Counters, CounterReport{Name: ct.name, Value: ct.v.Load()})
+	}
+	for _, g := range c.gauges {
+		r.Gauges = append(r.Gauges, GaugeReport{Name: g.name, Value: g.Value()})
+	}
+	if s := c.sampler; s != (SamplerStats{}) {
+		r.Sampler = &SamplerReport{
+			KernelSamples:    s.KernelSamples,
+			InterruptSamples: s.InterruptSamples,
+			KernelCostNs:     s.KernelCostNs,
+			InterruptCostNs:  s.InterruptCostNs,
+			OverheadNs:       s.OverheadNs(),
+			WallNs:           s.WallNs,
+			OverheadPct:      s.OverheadPct(),
+		}
+	}
+	return r
+}
+
+func exportNode(n *node) *SpanReport {
+	sr := &SpanReport{
+		Name:    n.name,
+		Count:   n.count.Load(),
+		TotalNs: n.totalNs.Load(),
+		MaxNs:   n.maxNs.Load(),
+	}
+	for _, ch := range n.children {
+		sr.Children = append(sr.Children, exportNode(ch))
+	}
+	return sr
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// Summary renders the human-readable trace summary: the span tree in
+// virtual time, the counters, and the Table 1-style sampling-overhead
+// accounting.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observability report: %s", r.Label)
+	if r.SampleEvery > 1 {
+		fmt.Fprintf(&b, " (sample spans 1-in-%d)", r.SampleEvery)
+	}
+	b.WriteString("\n\nspans (virtual clock):\n")
+	summarizeNode(&b, r.Spans, 0)
+	if len(r.Counters) > 0 {
+		width := 0
+		for _, ct := range r.Counters {
+			if len(ct.Name) > width {
+				width = len(ct.Name)
+			}
+		}
+		b.WriteString("\ncounters:\n")
+		for _, ct := range r.Counters {
+			fmt.Fprintf(&b, "  %-*s  %d\n", width, ct.Name, ct.Value)
+		}
+	}
+	for _, g := range r.Gauges {
+		fmt.Fprintf(&b, "  %s = %g\n", g.Name, g.Value)
+	}
+	if s := r.Sampler; s != nil {
+		b.WriteString("\nsampling overhead (Table 1 accounting):\n")
+		fmt.Fprintf(&b, "  %-10s  %12s  %10s  %14s\n", "context", "samples", "ns/sample", "total")
+		fmt.Fprintf(&b, "  %-10s  %12d  %10.1f  %14s\n", "in-kernel",
+			s.KernelSamples, s.KernelCostNs,
+			sim.Time(float64(s.KernelSamples)*s.KernelCostNs).String())
+		fmt.Fprintf(&b, "  %-10s  %12d  %10.1f  %14s\n", "interrupt",
+			s.InterruptSamples, s.InterruptCostNs,
+			sim.Time(float64(s.InterruptSamples)*s.InterruptCostNs).String())
+		fmt.Fprintf(&b, "  total overhead %s = %.3f%% of %s simulated\n",
+			sim.Time(s.OverheadNs).String(), s.OverheadPct, sim.Time(s.WallNs).String())
+	}
+	return b.String()
+}
+
+func summarizeNode(b *strings.Builder, n *SpanReport, depth int) {
+	if n == nil {
+		return
+	}
+	fmt.Fprintf(b, "  %s%-*s  count=%-8d", strings.Repeat("  ", depth), 24-2*depth, n.Name, n.Count)
+	if n.TotalNs > 0 {
+		fmt.Fprintf(b, "  total=%-12s  max=%s", sim.Time(n.TotalNs).String(), sim.Time(n.MaxNs).String())
+	}
+	b.WriteString("\n")
+	for _, ch := range n.Children {
+		summarizeNode(b, ch, depth+1)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -83,12 +84,22 @@ type Counts struct {
 	Interrupt uint64 // interrupt samples (periodic or backup)
 }
 
+// Per-sample time costs from the paper's Table 1 (Mbench-Spin: 1270 and
+// 2276 cycles at 3 GHz). Exported so overhead accounting — here and in the
+// observability layer's run reports — uses one set of numbers.
+const (
+	// KernelSampleCostNs is the cost of an in-kernel sample (context
+	// switch or system call entrance): 0.42 µs.
+	KernelSampleCostNs = 423.3
+	// InterruptSampleCostNs is the cost of an interrupt sample, which pays
+	// an extra user/kernel domain switch: 0.76 µs.
+	InterruptSampleCostNs = 758.7
+)
+
 // OverheadNs estimates total sampling overhead using the paper's method:
-// sample counts times the measured per-sample costs of Table 1 (those of
-// Mbench-Spin: 0.42 µs in-kernel, 0.76 µs at an interrupt).
+// sample counts times the measured per-sample costs of Table 1.
 func (c Counts) OverheadNs() float64 {
-	const kernelCostNs, intrCostNs = 423.3, 758.7 // 1270 and 2276 cycles at 3 GHz
-	return float64(c.Kernel)*kernelCostNs + float64(c.Interrupt)*intrCostNs
+	return float64(c.Kernel)*KernelSampleCostNs + float64(c.Interrupt)*InterruptSampleCostNs
 }
 
 // Total returns the total number of samples.
@@ -122,6 +133,13 @@ type Tracker struct {
 	onPeriod   []func(run *kernel.RequestRun, tr *trace.Request, dur sim.Time, c metrics.Counters)
 	onComplete []func(tr *trace.Request)
 
+	// obs holds resolved observability handles (all nil when disabled).
+	tobs struct {
+		samples          *obs.SpanSeries // per-sample period spans
+		kernelSamples    *obs.Counter
+		interruptSamples *obs.Counter
+	}
+
 	// Counts tallies samples for overhead accounting.
 	Counts Counts
 }
@@ -149,6 +167,21 @@ func NewTracker(k *kernel.Kernel, cfg Config) *Tracker {
 		RequestDone: t.requestDone,
 	})
 	return t
+}
+
+// SetObserver attaches the observability collector, resolving the
+// per-sample span series (honoring the collector's sampling mode — the
+// sample level is the highest-frequency series) and sample counters. A nil
+// collector leaves the tracker uninstrumented. The span durations are the
+// attributed period lengths already computed for the trace, read off the
+// virtual clock, so instrumentation cannot perturb measurements.
+func (t *Tracker) SetObserver(c *obs.Collector) {
+	if c == nil {
+		return
+	}
+	t.tobs.samples = c.SampledSpan("request", "phase", "sample")
+	t.tobs.kernelSamples = c.Counter("sampling.kernel_samples")
+	t.tobs.interruptSamples = c.Counter("sampling.interrupt_samples")
 }
 
 // Store returns the collected request traces.
@@ -198,8 +231,14 @@ func (t *Tracker) sample(core int, ctx metrics.SampleContext) {
 	switch ctx {
 	case metrics.CtxKernel:
 		t.Counts.Kernel++
+		if t.tobs.kernelSamples != nil {
+			t.tobs.kernelSamples.Add(1)
+		}
 	case metrics.CtxInterrupt:
 		t.Counts.Interrupt++
+		if t.tobs.interruptSamples != nil {
+			t.tobs.interruptSamples.Add(1)
+		}
 	}
 	delta := snap.Sub(ct.last)
 	if t.cfg.Compensate {
@@ -208,6 +247,9 @@ func (t *Tracker) sample(core int, ctx metrics.SampleContext) {
 		delta = delta.Sub(t.k.Machine().MinObserverEvents(ct.lastCtx))
 	}
 	dur := now - ct.lastTime
+	if t.tobs.samples != nil {
+		t.tobs.samples.Observe(dur)
+	}
 	tr := t.traceFor(run)
 	tr.AddPeriod(dur, delta)
 	for _, fn := range t.onPeriod {
@@ -236,6 +278,9 @@ func (t *Tracker) baseline(core int) {
 	ct.lastCtx = metrics.CtxKernel
 	ct.pendingValid = false
 	t.Counts.Kernel++
+	if t.tobs.kernelSamples != nil {
+		t.tobs.kernelSamples.Add(1)
+	}
 }
 
 func (t *Tracker) switchIn(core int, run *kernel.RequestRun) {

@@ -9,6 +9,8 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Service drives concurrent in-flight identification sessions against one
@@ -18,6 +20,14 @@ type Service struct {
 	m      *Matcher
 	shards []serviceShard
 	shift  uint
+
+	// sobs is shared by all sessions this service drives (counters are
+	// atomic, so concurrent shards may add freely); nil when no collector
+	// is attached. created/reused/finished track session lifecycle churn.
+	sobs     *sessionObs
+	created  *obs.Counter
+	reused   *obs.Counter
+	finished *obs.Counter
 }
 
 type serviceShard struct {
@@ -47,6 +57,24 @@ func NewService(m *Matcher, shards int) *Service {
 	return s
 }
 
+// SetObserver attaches the observability collector: cascade prune counters
+// shared across every session the service drives, plus session-lifecycle
+// counters. A nil collector leaves the service uninstrumented. Call before
+// driving traffic; sessions already live keep their previous handles.
+func (s *Service) SetObserver(c *obs.Collector) {
+	if c == nil {
+		return
+	}
+	s.sobs = &sessionObs{
+		cachedPruned: c.Counter("signature.prune.cached_lb"),
+		paaPruned:    c.Counter("signature.prune.paa_bound"),
+		abandoned:    c.Counter("signature.prune.abandoned"),
+	}
+	s.created = c.Counter("signature.sessions.created")
+	s.reused = c.Counter("signature.sessions.reused")
+	s.finished = c.Counter("signature.sessions.finished")
+}
+
 // shardFor hashes a request ID to its shard (Fibonacci hashing spreads
 // sequential IDs, the common case, across all shards).
 func (s *Service) shardFor(id uint64) *serviceShard {
@@ -65,9 +93,12 @@ func (s *Service) session(sh *serviceShard, id uint64) *Session {
 			ses = sh.free[n-1]
 			sh.free = sh.free[:n-1]
 			ses.Reset()
+			s.reused.Add(1)
 		} else {
 			ses = s.m.NewSession()
+			s.created.Add(1)
 		}
+		ses.obs = s.sobs
 		sh.live[id] = ses
 	}
 	return ses
@@ -123,6 +154,7 @@ func (s *Service) Finish(id uint64) {
 	if ses := sh.live[id]; ses != nil {
 		delete(sh.live, id)
 		sh.free = append(sh.free, ses)
+		s.finished.Add(1)
 	}
 }
 

@@ -18,7 +18,22 @@
 // applies the same test to the partial sum mid-accumulation.
 package signature
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// sessionObs holds resolved counters for the identification cascade's three
+// prune stages. One instance is shared by every session a Service drives
+// (the counters are atomic), and a nil pointer — the default for sessions
+// used outside a Service or without a collector — costs one branch per
+// prune site.
+type sessionObs struct {
+	cachedPruned *obs.Counter // stage 1: cached lower bound won
+	paaPruned    *obs.Counter // stage 2: piecewise-aggregate bound won
+	abandoned    *obs.Counter // stage 3: exact accumulation abandoned early
+}
 
 // Session is one in-flight request's incremental matching state against a
 // Matcher's bank. Sessions are not safe for concurrent use (use Service to
@@ -32,6 +47,7 @@ type Session struct {
 	DisableCascade bool
 
 	m      *Matcher
+	obs    *sessionObs
 	prefix []float64 // buckets observed so far
 	segP   []float64 // complete-segment sums of prefix (paaSegment wide)
 	acc    []float64 // per-entry exact L1 sum over prefix[:done[e]]
@@ -165,6 +181,10 @@ func (s *Session) identify() {
 	bestIdx, bestD := seed, s.catchUp(seed)
 	s.lb[seed] = s.acc[seed]
 	n := len(s.prefix)
+	// Prune tallies accumulate in locals and flush to the shared atomic
+	// counters once per identification, so an attached collector costs
+	// three adds per call, not one per pruned candidate.
+	var cachedPruned, paaPruned, abandoned uint64
 	for e := 0; e < ne; e++ {
 		if e == seed {
 			continue
@@ -172,6 +192,7 @@ func (s *Session) identify() {
 		// Cascade stage 1: the cached lower bound (exact partial sum or an
 		// earlier envelope bound) kills dead candidates on one comparison.
 		if v := s.lb[e]; v > bestD || (v == bestD && e > bestIdx) {
+			cachedPruned++
 			continue
 		}
 		if s.done[e] < n {
@@ -180,6 +201,7 @@ func (s *Session) identify() {
 			lb := s.acc[e] + s.m.paaRemaining(e, s.done[e], s.segP)
 			s.lb[e] = lb
 			if lb > bestD || (lb == bestD && e > bestIdx) {
+				paaPruned++
 				continue
 			}
 			// Stage 3: exact accumulation with early abandoning. The
@@ -191,12 +213,18 @@ func (s *Session) identify() {
 			complete := s.catchUpAbandon(e, 2*bestD)
 			s.lb[e] = s.acc[e]
 			if !complete {
+				abandoned++
 				continue
 			}
 		}
 		if d := s.acc[e]; d < bestD || (d == bestD && e < bestIdx) {
 			bestIdx, bestD = e, d
 		}
+	}
+	if s.obs != nil {
+		s.obs.cachedPruned.Add(cachedPruned)
+		s.obs.paaPruned.Add(paaPruned)
+		s.obs.abandoned.Add(abandoned)
 	}
 	s.best, s.bestD = bestIdx, bestD
 }

@@ -89,10 +89,11 @@ func (h *eventHeap) Pop() any {
 // concurrent use; the whole simulation runs on one goroutine by design so
 // that event ordering is total and deterministic.
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	stopped bool
+	now        Time
+	queue      eventHeap
+	seq        uint64
+	stopped    bool
+	dispatched uint64
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -144,6 +145,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
+		e.dispatched++
 		ev.fn()
 		return true
 	}
@@ -182,3 +184,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // yet reaped — cancellation removes them eagerly so this is exact in
 // practice).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Dispatched reports the total number of events executed so far — the
+// observability layer's "events dispatched" counter.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
