@@ -5,18 +5,30 @@
 
 GO ?= go
 
-.PHONY: check vet build test bench bench-json
+.PHONY: check vet build test test-dist bench bench-json faults
 
-check: vet build test bench
+check: vet build test test-dist bench
 
 vet:
 	$(GO) vet ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build ./... ./examples/...
 
 test:
 	$(GO) test -race ./...
+
+# Focused race-detector pass over the interconnect robustness and fault
+# injection suites (also covered by `test`; kept addressable so the
+# distributed stack can be iterated on quickly).
+test-dist:
+	$(GO) test -race ./internal/distributed/... ./internal/fault/...
+
+# faults is the fault-injection smoke: a tiny labeled schedule through the
+# full faultanomaly pipeline — injection, retries/hedging on vs off, and
+# detector precision/recall/F1 against ground truth.
+faults:
+	$(GO) run ./cmd/rbvrepro -scale 0.05 -run faultanomaly
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/distance/... ./internal/cluster/...

@@ -10,7 +10,7 @@ func TestSelectExperimentsDefaultIsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 16 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "ablations" {
+	if len(sel) != 17 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "faultanomaly" {
 		t.Fatalf("default selection wrong: %d experiments", len(sel))
 	}
 }

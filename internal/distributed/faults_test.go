@@ -1,0 +1,303 @@
+package distributed
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// fingerprint renders a run's traces into a canonical string so two runs
+// can be compared bit-for-bit.
+func fingerprint(traces []*Trace) string {
+	sorted := append([]*Trace(nil), traces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	out := ""
+	for _, tr := range sorted {
+		out += fmt.Sprintf("%d:%d:%d:%d:%d:%d:%d:%d:%d\n",
+			tr.ID, tr.Start, tr.End, tr.NetworkTime(), tr.CPUTime(),
+			tr.Retries, tr.Hedges, tr.Timeouts, len(tr.Segments))
+	}
+	return out
+}
+
+func runCluster(t *testing.T, cfg Config, requests int, faults *fault.Schedule) []*Trace {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != nil {
+		c.SetFaults(faults)
+	}
+	traces := NewDriver(c, workload.NewRUBiS(), 4, requests, 3).Run()
+	if len(traces) != requests {
+		t.Fatalf("completed %d/%d requests", len(traces), requests)
+	}
+	return traces
+}
+
+func TestSameSeedBitIdenticalTraces(t *testing.T) {
+	a := fingerprint(runCluster(t, clusterConfig(3, []int{0, 1, 2}), 20, nil))
+	b := fingerprint(runCluster(t, clusterConfig(3, []int{0, 1, 2}), 20, nil))
+	if a != b {
+		t.Fatalf("same seed gave different runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestDifferentSeedsDifferentNetworkTimes(t *testing.T) {
+	cfgA := clusterConfig(3, []int{0, 1, 2})
+	cfgB := cfgA
+	cfgB.Seed = 1234
+	a := runCluster(t, cfgA, 15, nil)
+	b := runCluster(t, cfgB, 15, nil)
+	netA, netB := sim.Time(0), sim.Time(0)
+	for i := range a {
+		netA += a[i].NetworkTime()
+		netB += b[i].NetworkTime()
+	}
+	if netA == netB {
+		t.Fatal("different cluster seeds drew identical network times")
+	}
+}
+
+func TestSeedDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(1)
+	a := fingerprint(runCluster(t, clusterConfig(3, []int{0, 1, 2}), 15, nil))
+	runtime.GOMAXPROCS(prev)
+	b := fingerprint(runCluster(t, clusterConfig(3, []int{0, 1, 2}), 15, nil))
+	if a != b {
+		t.Fatal("run fingerprint varies with GOMAXPROCS")
+	}
+}
+
+func TestEvaluatePlacementsBitIdentical(t *testing.T) {
+	base := clusterConfig(3, nil)
+	placements := [][]int{{0, 1, 2}, {0, 0, 0}}
+	a, err := EvaluatePlacements(workload.NewRUBiS(), base, placements, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluatePlacements(workload.NewRUBiS(), base, placements, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("placement evaluation not reproducible:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestFaultScheduleDeterministicUnderInjection(t *testing.T) {
+	horizon := 500 * sim.Millisecond
+	mkSched := func() *fault.Schedule {
+		s, err := fault.NewSchedule(fault.Config{
+			Seed: 11, Horizon: horizon, Nodes: 3, Tiers: 3,
+			Slowdowns: 1, HopSpikes: 1, Drops: 1, Bursts: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cfg := clusterConfig(3, []int{0, 1, 2})
+	cfg.Retry.Enabled = true
+	sa, sb := mkSched(), mkSched()
+	a := fingerprint(runCluster(t, cfg, 20, sa))
+	b := fingerprint(runCluster(t, cfg, 20, sb))
+	if a != b {
+		t.Fatalf("fault-injected runs with identical schedules diverged:\n%s\nvs\n%s", a, b)
+	}
+	if !reflect.DeepEqual(sa.Impacts(), sb.Impacts()) {
+		t.Fatal("recorded ground-truth impacts diverged between identical runs")
+	}
+}
+
+func TestDropsPayRTOWithoutRetries(t *testing.T) {
+	// A full-run drop window on the node hosting tier 1: without retries
+	// every affected hop pays the DropRTO retransmission cliff.
+	window := []fault.Fault{{
+		Kind: fault.HopDrop, Node: 1, Tier: -1,
+		Start: 0, End: sim.Time(1) << 60, Prob: 1,
+	}}
+	cfg := clusterConfig(3, []int{0, 1, 2})
+	sched := fault.FromFaults(5, window)
+	traces := runCluster(t, cfg, 10, sched)
+	if len(sched.ImpactedIDs(fault.HopDrop)) == 0 {
+		t.Fatal("no drop impacts recorded under a permanent drop window")
+	}
+	rto := 25 * cfg.Network.HopLatency // the default DropRTO
+	sawRTO := false
+	for _, tr := range traces {
+		for _, seg := range tr.Segments {
+			if seg.NetworkDelay >= rto {
+				sawRTO = true
+			}
+		}
+		if tr.Retries != 0 {
+			t.Fatal("retries counted with retries disabled")
+		}
+	}
+	if !sawRTO {
+		t.Fatal("no segment paid the retransmission penalty")
+	}
+}
+
+func TestRetriesBeatRTOOnWorstCaseLatency(t *testing.T) {
+	window := []fault.Fault{{
+		Kind: fault.HopDrop, Node: 1, Tier: -1,
+		Start: 0, End: sim.Time(1) << 60, Prob: 0.7,
+	}}
+	run := func(retries bool) []float64 {
+		cfg := clusterConfig(3, []int{0, 1, 2})
+		cfg.Retry.Enabled = retries
+		traces := runCluster(t, cfg, 30, fault.FromFaults(5, window))
+		var lat []float64
+		for _, tr := range traces {
+			lat = append(lat, float64(tr.Latency()))
+		}
+		return lat
+	}
+	off := stats.Percentile(run(false), 99)
+	on := stats.Percentile(run(true), 99)
+	if on >= off {
+		t.Fatalf("retries did not improve p99: on=%.2fms off=%.2fms", on/1e6, off/1e6)
+	}
+}
+
+func TestRetriesCountedAndObserved(t *testing.T) {
+	window := []fault.Fault{{
+		Kind: fault.HopDrop, Node: 1, Tier: -1,
+		Start: 0, End: sim.Time(1) << 60, Prob: 1,
+	}}
+	cfg := clusterConfig(3, []int{0, 1, 2})
+	cfg.Retry.Enabled = true
+	col := obs.New("test")
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetObserver(col)
+	c.SetFaults(fault.FromFaults(5, window))
+	traces := NewDriver(c, workload.NewRUBiS(), 4, 10, 3).Run()
+	totalRetries, totalTimeouts := 0, 0
+	for _, tr := range traces {
+		totalRetries += tr.Retries
+		totalTimeouts += tr.Timeouts
+	}
+	if totalRetries == 0 || totalTimeouts == 0 {
+		t.Fatal("permanent drop window with retries on produced no retries/timeouts")
+	}
+	if col.Counter("net.retries").Value() != uint64(totalRetries) {
+		t.Fatalf("obs retries %d != trace retries %d",
+			col.Counter("net.retries").Value(), totalRetries)
+	}
+	if col.Counter("net.timeouts").Value() != uint64(totalTimeouts) {
+		t.Fatal("obs timeouts disagree with trace timeouts")
+	}
+	if col.Counter("net.drops").Value() == 0 {
+		t.Fatal("no drops observed")
+	}
+}
+
+func TestHedgingCompletesAndIsCounted(t *testing.T) {
+	cfg := clusterConfig(3, []int{0, 1, 2})
+	cfg.Retry.Enabled = true
+	cfg.Retry.Hedge = true
+	cfg.Retry.HedgeAfter = 100 * sim.Microsecond // hedge nearly every segment
+	traces := runCluster(t, cfg, 20, nil)
+	hedges := 0
+	sawHedgedSegment := false
+	for _, tr := range traces {
+		hedges += tr.Hedges
+		for _, seg := range tr.Segments {
+			if seg.Hedged {
+				sawHedgedSegment = true
+			}
+		}
+		if tr.End <= tr.Start || tr.CPUTime() <= 0 {
+			t.Fatal("bad trace under hedging")
+		}
+	}
+	if hedges == 0 {
+		t.Fatal("aggressive hedge budget produced no hedges")
+	}
+	if !sawHedgedSegment {
+		t.Fatal("no segment was won by a hedge duplicate")
+	}
+}
+
+func TestHedgingDeterministic(t *testing.T) {
+	run := func() string {
+		cfg := clusterConfig(3, []int{0, 1, 2})
+		cfg.Retry.Enabled = true
+		cfg.Retry.Hedge = true
+		cfg.Retry.HedgeAfter = 200 * sim.Microsecond
+		return fingerprint(runCluster(t, cfg, 20, nil))
+	}
+	if run() != run() {
+		t.Fatal("hedged runs not reproducible")
+	}
+}
+
+func TestPollutionBurstRecordsGroundTruthAndStretchesCPI(t *testing.T) {
+	// A permanent burst on tier 2 must hit every request's DB segment and
+	// inflate its CPU time versus a clean run.
+	window := []fault.Fault{{
+		Kind: fault.PollutionBurst, Node: -1, Tier: 2,
+		Start: 0, End: sim.Time(1) << 60, Factor: 4,
+	}}
+	cfg := clusterConfig(3, []int{0, 1, 2})
+	clean := runCluster(t, cfg, 10, nil)
+	sched := fault.FromFaults(5, window)
+	dirty := runCluster(t, cfg, 10, sched)
+	hit := sched.ImpactedIDs(fault.PollutionBurst)
+	if len(hit) != 10 {
+		t.Fatalf("permanent tier-2 burst hit %d/10 requests", len(hit))
+	}
+	var cleanDB, dirtyDB float64
+	for i := range clean {
+		for _, seg := range clean[i].Segments {
+			if seg.Tier == 2 {
+				cleanDB += float64(seg.Trace.CPUTime())
+			}
+		}
+		for _, seg := range dirty[i].Segments {
+			if seg.Tier == 2 {
+				dirtyDB += float64(seg.Trace.CPUTime())
+			}
+		}
+	}
+	if dirtyDB <= cleanDB {
+		t.Fatalf("pollution burst did not inflate DB CPU time: %.0f vs %.0f", dirtyDB, cleanDB)
+	}
+}
+
+func TestNodeSlowdownStretchesRun(t *testing.T) {
+	window := []fault.Fault{{
+		Kind: fault.NodeSlowdown, Node: 2, Tier: -1,
+		Start: 0, End: sim.Time(1) << 60, Factor: 0.25,
+	}}
+	cfg := clusterConfig(3, []int{0, 1, 2})
+	clean := runCluster(t, cfg, 10, nil)
+	sched := fault.FromFaults(5, window)
+	slow := runCluster(t, cfg, 10, sched)
+	var cleanLat, slowLat float64
+	for i := range clean {
+		cleanLat += float64(clean[i].Latency())
+		slowLat += float64(slow[i].Latency())
+	}
+	if slowLat <= cleanLat {
+		t.Fatalf("node slowdown did not stretch latency: %.0f vs %.0f", slowLat, cleanLat)
+	}
+	if len(sched.ImpactedIDs(fault.NodeSlowdown)) == 0 {
+		t.Fatal("no slowdown impacts recorded")
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultAnomalyReport(t *testing.T) {
+	r, err := FaultAnomaly(Config{Seed: 1, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheduled == 0 || r.Impacts == 0 {
+		t.Fatalf("no faults scheduled/applied: %+v", r)
+	}
+	if r.Truth == 0 {
+		t.Fatal("no pollution-burst ground truth recorded")
+	}
+	if r.Eval.F1 <= 0 {
+		t.Fatalf("detector found nothing against ground truth: %s", r.Eval)
+	}
+	if r.Eval.Precision < 0.5 {
+		t.Fatalf("detector precision too low: %s", r.Eval)
+	}
+	if r.Retries == 0 || r.Timeouts == 0 {
+		t.Fatalf("robustness run exercised no retries: %+v", r)
+	}
+	// The acceptance criterion: retries/hedging must cut worst-case
+	// latency under the identical fault schedule.
+	if r.P99OnNs >= r.P99OffNs {
+		t.Fatalf("retries+hedging did not reduce p99: on=%.2fms off=%.2fms",
+			r.P99OnNs/1e6, r.P99OffNs/1e6)
+	}
+	out := r.String()
+	for _, want := range []string{"precision", "recall", "F1", "p99 latency", "cut p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultAnomalyDeterministic(t *testing.T) {
+	run := func() string {
+		r, err := FaultAnomaly(Config{Seed: 3, Scale: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.String()
+	}
+	if run() != run() {
+		t.Fatal("faultanomaly report not bit-identical across runs")
+	}
+}

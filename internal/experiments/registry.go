@@ -59,6 +59,7 @@ func Registry() []Experiment {
 		def("fig12", Figure12),
 		def("fig13", Figure13),
 		def("ablations", Ablations),
+		def("faultanomaly", FaultAnomaly),
 	}
 }
 

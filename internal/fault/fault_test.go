@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		Horizon:   100 * sim.Millisecond,
+		Nodes:     3,
+		Tiers:     3,
+		Slowdowns: 2,
+		HopSpikes: 2,
+		Drops:     2,
+		Bursts:    2,
+	}
+}
+
+func TestNewScheduleDeterministic(t *testing.T) {
+	a, err := NewSchedule(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Faults(), b.Faults()
+	if len(fa) != len(fb) || len(fa) != 8 {
+		t.Fatalf("fault counts differ or wrong: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("fault %d differs: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+	// The online drop streams must march in lockstep too: same queries in
+	// the same order give the same decisions.
+	dropsA, dropsB := 0, 0
+	for i := 0; i < 2000; i++ {
+		at := sim.Time(i) * 50 * sim.Microsecond
+		da := a.DropHop(i%3, at)
+		db := b.DropHop(i%3, at)
+		if da != db {
+			t.Fatalf("drop decision %d differs: %v vs %v", i, da, db)
+		}
+		if da {
+			dropsA++
+		}
+		if db {
+			dropsB++
+		}
+	}
+	if dropsA == 0 {
+		t.Fatal("expected some drops inside drop windows over the horizon")
+	}
+}
+
+func TestNewScheduleDifferentSeedsDiffer(t *testing.T) {
+	a, _ := NewSchedule(testConfig(1))
+	b, _ := NewSchedule(testConfig(2))
+	same := true
+	for i := range a.Faults() {
+		if a.Faults()[i] != b.Faults()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestNewScheduleWindowBounds(t *testing.T) {
+	cfg := testConfig(7)
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range s.Faults() {
+		if f.Start < 0 || f.End <= f.Start || f.End > cfg.Horizon+cfg.Horizon/6+1 {
+			t.Errorf("window out of bounds: %v", f)
+		}
+		if f.Start >= cfg.Horizon {
+			t.Errorf("window starts beyond horizon: %v", f)
+		}
+		switch f.Kind {
+		case NodeSlowdown, HopDelay, HopDrop:
+			if f.Node < 0 || f.Node >= cfg.Nodes {
+				t.Errorf("node out of range: %v", f)
+			}
+		case PollutionBurst:
+			if f.Tier < 0 || f.Tier >= cfg.Tiers {
+				t.Errorf("tier out of range: %v", f)
+			}
+		}
+	}
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(Config{Slowdowns: 1, Nodes: 1}); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+	if _, err := NewSchedule(Config{Horizon: sim.Second, Slowdowns: 1}); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+	if _, err := NewSchedule(Config{Horizon: sim.Second, Bursts: 1, Nodes: 1}); err == nil {
+		t.Error("expected error for zero tiers")
+	}
+	if s, err := NewSchedule(Config{}); err != nil || len(s.Faults()) != 0 {
+		t.Errorf("empty config should give an empty schedule, got %v, %v", s.Faults(), err)
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	ms := sim.Millisecond
+	s := FromFaults(1, []Fault{
+		{Kind: NodeSlowdown, Node: 0, Tier: -1, Start: 10 * ms, End: 20 * ms, Factor: 0.5},
+		{Kind: NodeSlowdown, Node: 0, Tier: -1, Start: 15 * ms, End: 25 * ms, Factor: 0.3},
+		{Kind: HopDelay, Node: 1, Tier: -1, Start: 10 * ms, End: 20 * ms, Factor: 8},
+		{Kind: HopDrop, Node: 2, Tier: -1, Start: 10 * ms, End: 20 * ms, Prob: 1},
+		{Kind: PollutionBurst, Node: -1, Tier: 1, Start: 10 * ms, End: 20 * ms, Factor: 3},
+	})
+
+	if got := s.FreqScale(0, 5*ms); got != 1 {
+		t.Errorf("FreqScale before window = %v, want 1", got)
+	}
+	if got := s.FreqScale(0, 12*ms); got != 0.5 {
+		t.Errorf("FreqScale in first window = %v, want 0.5", got)
+	}
+	if got := s.FreqScale(0, 17*ms); got != 0.3 {
+		t.Errorf("FreqScale in overlap takes min = %v, want 0.3", got)
+	}
+	if got := s.FreqScale(1, 12*ms); got != 1 {
+		t.Errorf("FreqScale other node = %v, want 1", got)
+	}
+	if got := s.FreqScale(0, 25*ms); got != 1 {
+		t.Errorf("FreqScale at End is exclusive = %v, want 1", got)
+	}
+
+	if got := s.HopFactor(1, 12*ms); got != 8 {
+		t.Errorf("HopFactor in window = %v, want 8", got)
+	}
+	if got := s.HopFactor(0, 12*ms); got != 1 {
+		t.Errorf("HopFactor other node = %v, want 1", got)
+	}
+
+	if !s.DropHop(2, 12*ms) {
+		t.Error("DropHop with prob 1 in window should drop")
+	}
+	if s.DropHop(2, 25*ms) {
+		t.Error("DropHop outside window should not drop")
+	}
+	if s.DropHop(0, 12*ms) {
+		t.Error("DropHop other node should not drop")
+	}
+
+	if got := s.Pollution(1, 12*ms); got != 3 {
+		t.Errorf("Pollution in window = %v, want 3", got)
+	}
+	if got := s.Pollution(0, 12*ms); got != 1 {
+		t.Errorf("Pollution other tier = %v, want 1", got)
+	}
+
+	var nilSched *Schedule
+	if nilSched.FreqScale(0, 0) != 1 || nilSched.HopFactor(0, 0) != 1 ||
+		nilSched.DropHop(0, 0) || nilSched.Pollution(0, 0) != 1 {
+		t.Error("nil schedule must read as clean")
+	}
+	nilSched.Record(1, HopDrop, 0, 0, 0) // must not panic
+	if len(nilSched.Impacts()) != 0 {
+		t.Error("nil schedule has no impacts")
+	}
+}
+
+func TestDropStreamOnlyConsumedInWindows(t *testing.T) {
+	ms := sim.Millisecond
+	window := []Fault{{Kind: HopDrop, Node: 0, Tier: -1, Start: 10 * ms, End: 20 * ms, Prob: 0.5}}
+	a := FromFaults(9, window)
+	b := FromFaults(9, window)
+	// a sees extra clean-time queries interleaved; b only the in-window
+	// ones. Decisions inside the window must match — clean queries must not
+	// consume the stream.
+	var inWindowA []bool
+	for i := 0; i < 100; i++ {
+		a.DropHop(0, 5*ms) // clean: outside window
+		inWindowA = append(inWindowA, a.DropHop(0, sim.Time(10*ms)+sim.Time(i)*50*sim.Microsecond))
+	}
+	for i := 0; i < 100; i++ {
+		got := b.DropHop(0, sim.Time(10*ms)+sim.Time(i)*50*sim.Microsecond)
+		if got != inWindowA[i] {
+			t.Fatalf("in-window decision %d diverged: clean queries consumed the stream", i)
+		}
+	}
+}
+
+func TestImpactsAndImpactedIDs(t *testing.T) {
+	s := FromFaults(1, nil)
+	s.Record(10, HopDrop, 1, -1, 5)
+	s.Record(11, PollutionBurst, -1, 1, 6)
+	s.Record(11, PollutionBurst, -1, 1, 7)
+	s.Record(12, NodeSlowdown, 0, -1, 8)
+	if len(s.Impacts()) != 4 {
+		t.Fatalf("impacts = %d, want 4", len(s.Impacts()))
+	}
+	all := s.ImpactedIDs()
+	if len(all) != 3 || !all[10] || !all[11] || !all[12] {
+		t.Errorf("ImpactedIDs() = %v", all)
+	}
+	bursts := s.ImpactedIDs(PollutionBurst)
+	if len(bursts) != 1 || !bursts[11] {
+		t.Errorf("ImpactedIDs(PollutionBurst) = %v", bursts)
+	}
+	both := s.ImpactedIDs(PollutionBurst, HopDrop)
+	if len(both) != 2 || !both[10] || !both[11] {
+		t.Errorf("ImpactedIDs(PollutionBurst, HopDrop) = %v", both)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	set := func(ids ...uint64) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, id := range ids {
+			m[id] = true
+		}
+		return m
+	}
+	e := Evaluate(set(1, 2, 3), set(2, 3, 4, 5))
+	if e.TruePositives != 2 || e.FalsePositives != 1 || e.FalseNegatives != 2 {
+		t.Fatalf("counts = %+v", e)
+	}
+	if e.Precision != 2.0/3 || e.Recall != 0.5 {
+		t.Fatalf("precision/recall = %v/%v", e.Precision, e.Recall)
+	}
+	wantF1 := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if diff := e.F1 - wantF1; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("F1 = %v, want %v", e.F1, wantF1)
+	}
+
+	perfect := Evaluate(set(1), set(1))
+	if perfect.Precision != 1 || perfect.Recall != 1 || perfect.F1 != 1 {
+		t.Fatalf("perfect = %+v", perfect)
+	}
+
+	empty := Evaluate(set(), set())
+	if empty.Precision != 1 || empty.Recall != 1 {
+		t.Fatalf("empty vs empty = %+v", empty)
+	}
+
+	missed := Evaluate(set(), set(1))
+	if missed.Recall != 0 || missed.F1 != 0 {
+		t.Fatalf("missed = %+v", missed)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		NodeSlowdown:   "node-slowdown",
+		HopDelay:       "hop-delay",
+		HopDrop:        "hop-drop",
+		PollutionBurst: "pollution-burst",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

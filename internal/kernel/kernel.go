@@ -252,6 +252,14 @@ func (k *Kernel) SetObserver(c *obs.Collector) {
 	}
 }
 
+// SetFrequencyScale scales this node's CPU clock (DVFS): effective
+// frequency = nominal × f, so f < 1 slows every core of the machine.
+// Safe to call mid-simulation — the machine advances all counters first
+// and the kernel's rate-change listener reschedules pending execution
+// breakpoints — which is exactly how fault injection actuates node
+// slowdown windows.
+func (k *Kernel) SetFrequencyScale(f float64) { k.mach.SetFrequencyScale(f) }
+
 // SetPolicy replaces the scheduling policy. Must be called before the
 // simulation starts (policies that depend on the sampling layer are built
 // after the kernel and installed here).

@@ -164,6 +164,10 @@ type Machine struct {
 	listeners []func(core int)
 	// penaltyFactor is the current machine-wide bandwidth inflation.
 	penaltyFactor float64
+	// freqScale is the DVFS multiplier on the configured clock: the
+	// effective rate is CyclesPerNs × freqScale. 1 is nominal frequency;
+	// fault injection scales it down for node-slowdown windows.
+	freqScale float64
 }
 
 // New builds a machine on the given engine. It panics on an invalid
@@ -172,7 +176,7 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{eng: eng, cfg: cfg, penaltyFactor: 1}
+	m := &Machine{eng: eng, cfg: cfg, penaltyFactor: 1, freqScale: 1}
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &core{id: i, pkg: i / cfg.CoresPerPackage})
 	}
@@ -271,7 +275,7 @@ func (m *Machine) recomputeRates() (changed []int) {
 				CPI:        cpi,
 				MissRatio:  miss[i],
 				RefsPerIns: c.activity.RefsPerIns,
-				NsPerIns:   cpi / m.cfg.CyclesPerNs,
+				NsPerIns:   cpi / (m.cfg.CyclesPerNs * m.freqScale),
 			}
 		}
 		if c.rate != old {
@@ -310,6 +314,34 @@ func (m *Machine) Rate(coreID int) Rate { return m.cores[coreID].rate }
 // PenaltyFactor returns the current machine-wide memory penalty inflation.
 func (m *Machine) PenaltyFactor() float64 { return m.penaltyFactor }
 
+// SetFrequencyScale sets the machine's DVFS multiplier: the effective clock
+// becomes CyclesPerNs × scale (scale 1 = nominal, 0.5 = half frequency).
+// Counters are unaffected per instruction — cycles per instruction do not
+// change with frequency — but wall time per instruction stretches, so a
+// scaled-down machine finishes the same work later. All cores advance to
+// the present first, then every changed core's rate-change listeners fire,
+// keeping pending execution breakpoints consistent. Non-positive scales
+// reset to nominal.
+func (m *Machine) SetFrequencyScale(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if scale == m.freqScale {
+		return
+	}
+	m.advanceAll()
+	m.freqScale = scale
+	changed := m.recomputeRates()
+	for _, id := range changed {
+		for _, fn := range m.listeners {
+			fn(id)
+		}
+	}
+}
+
+// FrequencyScale returns the current DVFS multiplier.
+func (m *Machine) FrequencyScale() float64 { return m.freqScale }
+
 // AppInstructions reports how many application instructions the core has
 // completed in its current activity, as of now.
 func (m *Machine) AppInstructions(coreID int) float64 {
@@ -346,7 +378,7 @@ func (m *Machine) Inject(coreID int, ev metrics.Counters) sim.Time {
 	c := m.cores[coreID]
 	m.advance(c)
 	c.hw.add(ev)
-	d := sim.Time(float64(ev.Cycles) / m.cfg.CyclesPerNs)
+	d := sim.Time(float64(ev.Cycles) / (m.cfg.CyclesPerNs * m.freqScale))
 	now := m.eng.Now()
 	if c.stallUntil < now {
 		c.stallUntil = now

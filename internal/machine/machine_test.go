@@ -302,3 +302,53 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("machine not deterministic: %v vs %v", a, b)
 	}
 }
+
+func TestFrequencyScaleStretchesTime(t *testing.T) {
+	eng, m := newTestMachine()
+	m.SetActivity(0, cpuBound())
+	if m.FrequencyScale() != 1 {
+		t.Fatalf("nominal scale = %v, want 1", m.FrequencyScale())
+	}
+	full, ok := m.TimeToReach(0, 300_000)
+	if !ok {
+		t.Fatal("no time-to-reach on a running core")
+	}
+	m.SetFrequencyScale(0.5)
+	half, ok := m.TimeToReach(0, 300_000)
+	if !ok {
+		t.Fatal("no time-to-reach after scaling")
+	}
+	if half < full*2-2 || half > full*2+2 {
+		t.Fatalf("half frequency should double time: %v -> %v", full, half)
+	}
+	// CPI per instruction is frequency-independent: run 1 ms scaled, the
+	// counters still show the activity's CPI.
+	run(eng, sim.Millisecond)
+	c := m.PeekCounters(0)
+	wantCPI := m.Rate(0).CPI
+	if got := c.Value(metrics.CPI); math.Abs(got-wantCPI) > 0.01 {
+		t.Fatalf("scaled CPI = %v, want %v", got, wantCPI)
+	}
+	// Restoring nominal frequency restores the original rate.
+	m.SetFrequencyScale(1)
+	if m.Rate(0).NsPerIns != m.Rate(0).CPI/m.Config().CyclesPerNs {
+		t.Fatal("nominal rate not restored")
+	}
+	// Non-positive scales reset to nominal rather than halting the clock.
+	m.SetFrequencyScale(-3)
+	if m.FrequencyScale() != 1 {
+		t.Fatalf("negative scale accepted: %v", m.FrequencyScale())
+	}
+}
+
+func TestFrequencyScaleNotifiesListeners(t *testing.T) {
+	_, m := newTestMachine()
+	m.SetActivity(0, cpuBound())
+	m.SetActivity(2, memBound())
+	var fired []int
+	m.OnRateChange(func(core int) { fired = append(fired, core) })
+	m.SetFrequencyScale(0.25)
+	if len(fired) < 2 {
+		t.Fatalf("rate-change listeners fired for %v, want both running cores", fired)
+	}
+}

@@ -184,6 +184,9 @@ func (t *Tracker) SetObserver(c *obs.Collector) {
 	t.tobs.interruptSamples = c.Counter("sampling.interrupt_samples")
 }
 
+// Kernel returns the kernel this tracker is attached to.
+func (t *Tracker) Kernel() *kernel.Kernel { return t.k }
+
 // Store returns the collected request traces.
 func (t *Tracker) Store() *trace.Store { return t.store }
 

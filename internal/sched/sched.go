@@ -35,7 +35,11 @@ type Monitor struct {
 	preds map[*kernel.RequestRun]*predict.VaEWMA
 }
 
-// NewMonitor subscribes a monitor to a tracker's period stream.
+// NewMonitor subscribes a monitor to a tracker's period stream and wires
+// request completion to Forget, so predictor state cannot outlive its
+// request: the final period is attributed at the completion context switch
+// (before the run is marked done), then the kernel's completion callbacks
+// — this cleanup among them — fire within the same virtual instant.
 func NewMonitor(tk *sampling.Tracker, alpha float64) *Monitor {
 	m := &Monitor{
 		Alpha:  alpha,
@@ -43,7 +47,7 @@ func NewMonitor(tk *sampling.Tracker, alpha float64) *Monitor {
 		preds:  map[*kernel.RequestRun]*predict.VaEWMA{},
 	}
 	tk.OnPeriod(m.onPeriod)
-	tk.OnComplete(func(*trace.Request) {}) // completion cleanup happens via kernel
+	tk.Kernel().OnRequestDone(m.Forget)
 	return m
 }
 
@@ -65,6 +69,10 @@ func (m *Monitor) onPeriod(run *kernel.RequestRun, _ *trace.Request, dur sim.Tim
 
 // Forget drops a completed request's predictor state.
 func (m *Monitor) Forget(run *kernel.RequestRun) { delete(m.preds, run) }
+
+// Tracked reports the number of requests with live predictor state —
+// zero after a run drains, or the monitor leaks.
+func (m *Monitor) Tracked() int { return len(m.preds) }
 
 // Predicted returns the request's predicted L2 misses per instruction for
 // its coming execution period (0 if never observed).

@@ -62,12 +62,14 @@ func TestMonitorPredictsFromPeriods(t *testing.T) {
 		Mode: sampling.Interrupt, Period: sim.Millisecond, Compensate: true,
 	})
 	mon := NewMonitor(tk, 0.6)
+	// Observe predictions on the live period stream (the monitor's own
+	// subscription runs first, so a prediction exists by the time this
+	// callback sees the period); completion wipes predictor state.
 	var sawPrediction bool
-	k.OnRequestDone(func(run *kernel.RequestRun) {
+	tk.OnPeriod(func(run *kernel.RequestRun, _ *trace.Request, _ sim.Time, _ metrics.Counters) {
 		if mon.Predicted(run) > 0 {
 			sawPrediction = true
 		}
-		mon.Forget(run)
 	})
 	d := kernel.NewDriver(k, kernel.LoadConfig{
 		App: workload.NewTPCH(), Concurrency: 2, Requests: 4, Seed: 5,
@@ -76,6 +78,28 @@ func TestMonitorPredictsFromPeriods(t *testing.T) {
 	eng.RunAll()
 	if !sawPrediction {
 		t.Fatal("monitor never produced a positive prediction for TPCH")
+	}
+}
+
+func TestMonitorStateDrainsAfterRun(t *testing.T) {
+	// Requests that finish without a trailing sampling period must still be
+	// forgotten: after a fully drained run the predictor map is empty.
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig())
+	tk := sampling.NewTracker(k, sampling.Config{
+		Mode: sampling.Interrupt, Period: sim.Millisecond, Compensate: true,
+	})
+	mon := NewMonitor(tk, 0.6)
+	d := kernel.NewDriver(k, kernel.LoadConfig{
+		App: workload.NewTPCH(), Concurrency: 4, Requests: 8, Seed: 5,
+	})
+	d.Start()
+	eng.RunAll()
+	if d.Completed() != 8 {
+		t.Fatalf("completed %d/8", d.Completed())
+	}
+	if mon.Tracked() != 0 {
+		t.Fatalf("monitor leaked %d predictor entries after a drained run", mon.Tracked())
 	}
 }
 
