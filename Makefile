@@ -2,10 +2,13 @@
 # suite under the race detector, and a single-iteration pass over the
 # distance/cluster benchmarks (including the pairwise-matrix engine's
 # serial-vs-parallel equality assertion in BenchmarkPairwiseMatrix).
+# `make verify` checks the experiment grid against the committed
+# golden-fingerprint corpus; `make golden` regenerates the corpus after an
+# intentional output change (see README "Verification").
 
 GO ?= go
 
-.PHONY: check vet build test test-dist bench bench-json faults
+.PHONY: check vet build test test-dist test-procs bench bench-json bench-smoke faults verify golden cover fuzz
 
 check: vet build test test-dist bench
 
@@ -24,11 +27,53 @@ test:
 test-dist:
 	$(GO) test -race ./internal/distributed/... ./internal/fault/...
 
+# GOMAXPROCS matrix leg: the concurrency-heavy packages must pass under the
+# race detector at both 1 and 4 procs — single-proc runs surface ordering
+# assumptions that parallel runs mask, and vice versa.
+# -count=1 defeats the test cache: GOMAXPROCS is read by the runtime, not
+# the test binary, so cached results would silently satisfy both legs.
+test-procs:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/distributed/... ./internal/experiments/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/distributed/... ./internal/experiments/...
+
 # faults is the fault-injection smoke: a tiny labeled schedule through the
 # full faultanomaly pipeline — injection, retries/hedging on vs off, and
 # detector precision/recall/F1 against ground truth.
 faults:
 	$(GO) run ./cmd/rbvrepro -scale 0.05 -run faultanomaly
+
+# verify re-runs the deterministic verification sweep (every registry
+# experiment across the seed x scale x GOMAXPROCS grid) and diffs the
+# canonical output fingerprints against the committed corpus. Any
+# divergence fails with the experiment name and first divergent field.
+verify:
+	$(GO) run ./cmd/rbvrepro -verify
+
+# golden regenerates the committed corpus from the current code. Run it
+# only after an *intentional* output change, then review the .golden diff
+# like any other code change.
+golden:
+	$(GO) run ./cmd/rbvrepro -golden
+
+# cover writes a per-package coverage report and enforces the repo-level
+# floor (the baseline at PR 5 was 84.0% of statements).
+COVER_FLOOR ?= 70
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -20
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# fuzz runs each native fuzz target for a short smoke budget — long enough
+# to exercise the mutator, short enough for CI. Findings land in
+# internal/verify/testdata/fuzz/ as regression seeds.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDTW$$' -fuzztime $(FUZZTIME) ./internal/verify/
+	$(GO) test -run '^$$' -fuzz '^FuzzSignatureMatch$$' -fuzztime $(FUZZTIME) ./internal/verify/
+	$(GO) test -run '^$$' -fuzz '^FuzzFingerprintStability$$' -fuzztime $(FUZZTIME) ./internal/verify/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/distance/... ./internal/cluster/...
@@ -42,3 +87,11 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -obs fig1 -out BENCH_$$(git rev-parse --short HEAD).json
+
+# bench-smoke is the benchmark-regression gate: the same sweep compared
+# against the committed PR 1 snapshot with a 3x tolerance — generous enough
+# that machine noise never trips it, tight enough that a lost fast path or
+# accidental O(n^2) fails loudly. Sub-100µs baselines are skipped as noise.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -against BENCH_506f09d.json -out /dev/null

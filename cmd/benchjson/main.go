@@ -5,6 +5,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime=1x . | go run ./cmd/benchjson -out BENCH_abc123.json
+//	go test -run '^$' -bench . -benchtime=1x . | go run ./cmd/benchjson -against BENCH_506f09d.json
 //
 // Every benchmark line becomes an object with its iteration count, ns/op,
 // and all custom metrics (including B/op and allocs/op when -benchmem is
@@ -16,6 +17,15 @@
 // totals and sampler-overhead accounting alongside the benchmark numbers.
 // When stdin is a terminal (no piped bench output), parsing is skipped and
 // the envelope holds only the observability reports.
+//
+// With -against FILE, the parsed results are additionally compared to the
+// baseline snapshot in FILE: any benchmark slower than baseline ns/op ×
+// -tolerance fails the run (exit 1). The default tolerance of 3× is the
+// regression smoke (`make bench-smoke`): generous enough that scheduler
+// noise and machine differences never trip it, tight enough that a gross
+// perf regression — an accidental O(n²), a lost fast path — fails loudly.
+// Benchmarks under -floor ns/op in the baseline are skipped (single-shot
+// timings of sub-100µs benchmarks are dominated by noise).
 package main
 
 import (
@@ -56,22 +66,35 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output file (default stdout)")
-	obsList := flag.String("obs", "", "comma-separated registry experiments to run under a collector")
-	obsScale := flag.Float64("obs-scale", 0.1, "request-count scale for -obs runs")
-	obsSeed := flag.Int64("obs-seed", 1, "seed for -obs runs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], stdinOrEmpty(), os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flag and lookup errors exit 2, I/O
+// failures and baseline regressions exit 1.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output file (default stdout)")
+	obsList := fs.String("obs", "", "comma-separated registry experiments to run under a collector")
+	obsScale := fs.Float64("obs-scale", 0.1, "request-count scale for -obs runs")
+	obsSeed := fs.Int64("obs-seed", 1, "seed for -obs runs")
+	against := fs.String("against", "", "baseline BENCH_*.json to compare parsed results to")
+	tolerance := fs.Float64("tolerance", 3, "fail when a benchmark exceeds baseline ns/op times this factor")
+	floor := fs.Float64("floor", 100e3, "skip comparison for baselines below this many ns/op (noise)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	rep := Report{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
 	if *obsList != "" {
 		reports, err := runObs(*obsList, *obsScale, *obsSeed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
 		}
 		rep.Obs = reports
 	}
-	sc := bufio.NewScanner(stdinOrEmpty())
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -91,25 +114,80 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: read: %v\n", err)
+		return 1
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: marshal: %v\n", err)
+		return 1
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
-		return
+		stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	} else {
+		fmt.Fprintf(stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+
+	if *against != "" {
+		if err := compareBaseline(rep, *against, *tolerance, *floor, stderr); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	return 0
+}
+
+// compareBaseline diffs the fresh results against a recorded snapshot and
+// errors when any shared benchmark regressed beyond the tolerance factor.
+// Benchmarks present on only one side are reported but never fail the
+// comparison — suites evolve; gross slowdowns are the target.
+func compareBaseline(rep Report, path string, tolerance, floor float64, stderr io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	baseNs := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	var regressions, compared, skipped int
+	seen := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		seen[b.Name] = true
+		want, ok := baseNs[b.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(stderr, "benchjson: new benchmark %s (no baseline)\n", b.Name)
+		case want < floor || b.NsPerOp == 0:
+			skipped++
+		case b.NsPerOp > want*tolerance:
+			regressions++
+			fmt.Fprintf(stderr, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.1fx > %.1fx tolerance)\n",
+				b.Name, b.NsPerOp, want, b.NsPerOp/want, tolerance)
+		default:
+			compared++
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(stderr, "benchjson: baseline benchmark %s not in this run\n", b.Name)
+		}
+	}
+	fmt.Fprintf(stderr, "benchjson: baseline %s: %d compared, %d under floor, %d regressions\n",
+		path, compared, skipped, regressions)
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmarks regressed beyond %.1fx", regressions, tolerance)
+	}
+	return nil
 }
 
 // stdinOrEmpty returns stdin, or an empty reader when stdin is an

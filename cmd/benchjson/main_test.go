@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkIdentify/naive-8         	       1	14700000 ns/op
+BenchmarkIdentify/cascaded-8      	       1	 1100000 ns/op	       5.00 pruned/op
+BenchmarkPairwiseMatrix/serial-8  	       1	  900000 ns/op	     256 B/op	       3 allocs/op
+not a benchmark line
+`
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkIdentify/naive-8  79  15362246 ns/op  3.00 x/op  128 B/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkIdentify/naive" || b.Procs != 8 || b.Iterations != 79 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.NsPerOp != 15362246 || b.Metrics["x/op"] != 3 || b.Metrics["B/op"] != 128 {
+		t.Fatalf("metrics %+v", b)
+	}
+}
+
+func TestRunParsesToJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run(nil, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.CPU != "Test CPU @ 2.00GHz" || len(rep.Benchmarks) != 3 {
+		t.Fatalf("envelope %+v", rep)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-out", path}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("wrote %d benchmarks", len(rep.Benchmarks))
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunObsUnknownExperimentExitsTwo(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-obs", "fig99"}, strings.NewReader(""), &out, &errBuf)
+	if code != 2 || !strings.Contains(errBuf.String(), "valid:") {
+		t.Fatalf("exit %d stderr %q", code, errBuf.String())
+	}
+}
+
+// -obs embeds one observability run report per named experiment in the
+// envelope, alongside whatever bench output was piped in.
+func TestRunObsEmbedsRunReport(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-obs", "faultanomaly", "-obs-scale", "0.05"}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Obs) != 1 || rep.Obs[0].Label != "faultanomaly" {
+		t.Fatalf("obs reports %+v", rep.Obs)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("bench parsing lost alongside -obs: %d", len(rep.Benchmarks))
+	}
+}
+
+// writeBaseline records a baseline snapshot with the given ns/op values.
+func writeBaseline(t *testing.T, values map[string]float64) string {
+	t.Helper()
+	var base Report
+	for name, ns := range values {
+		base.Benchmarks = append(base.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAgainstPassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, map[string]float64{
+		"BenchmarkIdentify/naive":        14000000,
+		"BenchmarkIdentify/cascaded":     600000, // fresh run is ~1.8x: inside 3x
+		"BenchmarkPairwiseMatrix/serial": 500000,
+		"BenchmarkRemoved":               2000000, // missing from this run: reported, not fatal
+	})
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-against", base}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "BenchmarkRemoved not in this run") {
+		t.Fatalf("missing-benchmark note absent: %s", errBuf.String())
+	}
+}
+
+func TestAgainstFailsOnGrossRegression(t *testing.T) {
+	base := writeBaseline(t, map[string]float64{
+		"BenchmarkIdentify/naive": 1000000, // fresh run is 14.7x slower
+	})
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-against", base}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a 14x regression", code)
+	}
+	if !strings.Contains(errBuf.String(), "REGRESSION BenchmarkIdentify/naive") {
+		t.Fatalf("regression not named: %s", errBuf.String())
+	}
+}
+
+// Sub-floor baselines are noise at -benchtime=1x and never fail the
+// comparison, however large the ratio looks.
+func TestAgainstSkipsSubFloorBaselines(t *testing.T) {
+	base := writeBaseline(t, map[string]float64{
+		"BenchmarkIdentify/naive": 50, // 50ns baseline: under the 100µs floor
+	})
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-against", base}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "1 under floor") {
+		t.Fatalf("floor skip not reported: %s", errBuf.String())
+	}
+}
+
+func TestAgainstMissingBaselineFileExitsOne(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-against", filepath.Join(t.TempDir(), "nope.json")}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+// TestAgainstCommittedBaselineParses guards the committed snapshot the
+// regression smoke compares against: it must stay parseable and keep the
+// benchmarks `make bench-smoke` relies on.
+func TestAgainstCommittedBaselineParses(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_506f09d.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) == 0 {
+		t.Fatal("committed baseline holds no benchmarks")
+	}
+	var overFloor int
+	for _, b := range base.Benchmarks {
+		if b.NsPerOp >= 100e3 {
+			overFloor++
+		}
+	}
+	if overFloor < 5 {
+		t.Fatalf("only %d baseline benchmarks clear the comparison floor", overFloor)
+	}
+}

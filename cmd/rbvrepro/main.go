@@ -4,38 +4,57 @@
 // Usage:
 //
 //	rbvrepro [-seed N] [-scale F] [-run LIST] [-json FILE] [-trace] [-obs-sample N]
+//	rbvrepro -verify [-run LIST] [-golden-dir DIR] [-verify-workers N]
+//	rbvrepro -golden [-golden-dir DIR] [-verify-workers N]
 //
 // where LIST is a comma-separated subset of the experiment registry
 // (default: everything, in paper order; see experiments.Registry). -json
 // writes an observability run report ("-" = stdout) and -trace prints the
 // human-readable span/counter summary; either flag attaches a collector to
 // every run. Collectors never change results (see package obs).
+//
+// -verify runs the deterministic verification sweep (package verify): the
+// full experiment grid is re-executed in parallel and checked against the
+// committed golden-fingerprint corpus, and any divergence is reported with
+// the experiment name and first divergent field. -golden re-runs the same
+// grid and regenerates the corpus — the step after an intentional output
+// change (see README "Verification").
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "master random seed (runs are reproducible per seed)")
-	scale := flag.Float64("scale", 1.0, "request-count scale factor (1.0 = full evaluation)")
-	runList := flag.String("run", "", "comma-separated experiments to run (default all, in paper order)")
-	jsonOut := flag.String("json", "", "write the observability run report as JSON to this file (\"-\" = stdout)")
-	traceOut := flag.Bool("trace", false, "print the observability span/counter summary after the runs")
-	obsSample := flag.Uint64("obs-sample", 1, "record 1 in N observations of the highest-frequency span series")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	selected, err := selectExperiments(*runList)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rbvrepro: %v\n", err)
-		os.Exit(2)
+// run is the testable entry point: flag errors and unknown experiment
+// names exit 2, run and verification failures exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rbvrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "master random seed (runs are reproducible per seed)")
+	scale := fs.Float64("scale", 1.0, "request-count scale factor (1.0 = full evaluation)")
+	runList := fs.String("run", "", "comma-separated experiments to run (default all, in paper order)")
+	jsonOut := fs.String("json", "", "write the observability run report as JSON to this file (\"-\" = stdout)")
+	traceOut := fs.Bool("trace", false, "print the observability span/counter summary after the runs")
+	obsSample := fs.Uint64("obs-sample", 1, "record 1 in N observations of the highest-frequency span series")
+	verifyMode := fs.Bool("verify", false, "check the experiment grid against the golden-fingerprint corpus")
+	goldenMode := fs.Bool("golden", false, "regenerate the golden-fingerprint corpus from the current code")
+	goldenDir := fs.String("golden-dir", "internal/verify/testdata/golden", "golden corpus directory")
+	verifyWorkers := fs.Int("verify-workers", 0, "concurrent verification cells (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
 	var col *obs.Collector
@@ -43,47 +62,116 @@ func main() {
 		col = obs.New("rbvrepro")
 		col.SetSampleEvery(*obsSample)
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Obs: col}
 
 	// With the JSON report on stdout, the human-readable tables move to
 	// stderr so the report stays a clean machine-parseable stream.
-	text := os.Stdout
+	text := stdout
 	if *jsonOut == "-" {
-		text = os.Stderr
+		text = stderr
 	}
+
+	if *verifyMode || *goldenMode {
+		if *verifyMode && *goldenMode {
+			fmt.Fprintln(stderr, "rbvrepro: -verify and -golden are mutually exclusive")
+			return 2
+		}
+		grid := verify.DefaultGrid()
+		partial := false
+		if *runList != "" {
+			// -run narrows the verification grid the same way it narrows a
+			// normal run. A narrowed -golden is forbidden: regeneration
+			// owns the corpus directory and would delete every other
+			// experiment's golden files.
+			if *goldenMode {
+				fmt.Fprintln(stderr, "rbvrepro: -golden regenerates the full corpus; it cannot be narrowed with -run")
+				return 2
+			}
+			selected, err := selectExperiments(*runList)
+			if err != nil {
+				fmt.Fprintf(stderr, "rbvrepro: %v\n", err)
+				return 2
+			}
+			want := map[string]bool{}
+			for _, e := range selected {
+				want[e.Name()] = true
+			}
+			var narrowed []verify.Cell
+			for _, c := range grid {
+				if want[c.Experiment] {
+					narrowed = append(narrowed, c)
+				}
+			}
+			grid, partial = narrowed, true
+		}
+		rep, err := verify.Sweep(grid, verify.Options{
+			Dir:     *goldenDir,
+			Workers: *verifyWorkers,
+			Obs:     col,
+			Update:  *goldenMode,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "rbvrepro: verify: %v\n", err)
+			return 1
+		}
+		if partial {
+			// Entries outside the narrowed grid are expected, not stale.
+			rep.Stale = nil
+		}
+		fmt.Fprint(text, rep)
+		if code := writeObs(col, *jsonOut, *traceOut, text, stdout, stderr); code != 0 {
+			return code
+		}
+		if !rep.OK() {
+			return 1
+		}
+		return 0
+	}
+
+	selected, err := selectExperiments(*runList)
+	if err != nil {
+		fmt.Fprintf(stderr, "rbvrepro: %v\n", err)
+		return 2
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Obs: col}
 	for _, e := range selected {
 		start := time.Now()
 		result, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rbvrepro: %s failed: %v\n", e.Name(), err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rbvrepro: %s failed: %v\n", e.Name(), err)
+			return 1
 		}
 		fmt.Fprintf(text, "==== %s (%.1fs) ====\n\n%s\n", e.Name(), time.Since(start).Seconds(), result)
 	}
+	return writeObs(col, *jsonOut, *traceOut, text, stdout, stderr)
+}
 
+// writeObs emits the collector's report per the -trace/-json flags (no-op
+// for a nil collector); returns a non-zero exit code on write failure.
+func writeObs(col *obs.Collector, jsonOut string, traceOut bool, text, stdout, stderr io.Writer) int {
 	if col == nil {
-		return
+		return 0
 	}
 	rep := col.Report()
-	if *traceOut {
+	if traceOut {
 		fmt.Fprint(text, rep.Summary())
 	}
-	if *jsonOut != "" {
-		w := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
+	if jsonOut != "" {
+		w := stdout
+		if jsonOut != "-" {
+			f, err := os.Create(jsonOut)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rbvrepro: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "rbvrepro: %v\n", err)
+				return 1
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := rep.WriteJSON(w); err != nil {
-			fmt.Fprintf(os.Stderr, "rbvrepro: write report: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rbvrepro: write report: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
 // selectExperiments resolves a comma-separated name list against the

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/verify"
 )
 
 func TestSelectExperimentsDefaultIsEverything(t *testing.T) {
@@ -41,5 +47,127 @@ func TestSelectExperimentsRejectsUnknown(t *testing.T) {
 		if !strings.Contains(msg, want) {
 			t.Errorf("error %q missing %q", msg, want)
 		}
+	}
+}
+
+// cli runs the command in-process and captures both streams.
+func cli(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestRunUnknownExperimentExitsTwo(t *testing.T) {
+	code, _, stderr := cli(t, "-run", "fig99")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown experiments") || !strings.Contains(stderr, "valid:") {
+		t.Fatalf("stderr missing the valid-name list: %q", stderr)
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := cli(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunTracePrintsSummary(t *testing.T) {
+	code, stdout, stderr := cli(t, "-run", "faultanomaly", "-scale", "0.05", "-trace")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "==== faultanomaly") {
+		t.Fatalf("experiment table missing from stdout: %q", stdout)
+	}
+	if !strings.Contains(stdout, "rbvrepro") || !strings.Contains(stdout, "faultanomaly") {
+		t.Fatalf("span summary missing from stdout: %q", stdout)
+	}
+}
+
+// -json - moves the human-readable tables to stderr and leaves stdout a
+// clean JSON stream.
+func TestRunJSONToStdout(t *testing.T) {
+	code, stdout, stderr := cli(t, "-run", "faultanomaly", "-scale", "0.05", "-json", "-")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not clean JSON: %v\n%q", err, stdout)
+	}
+	if !strings.Contains(stderr, "==== faultanomaly") {
+		t.Fatalf("tables did not move to stderr: %q", stderr)
+	}
+}
+
+func TestRunJSONToFileWithSampling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rep.json")
+	code, _, stderr := cli(t, "-run", "faultanomaly", "-scale", "0.05", "-json", path, "-obs-sample", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+}
+
+func TestRunVerifyAndGoldenAreExclusive(t *testing.T) {
+	code, _, stderr := cli(t, "-verify", "-golden")
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("exit %d stderr %q, want 2 + mutually exclusive", code, stderr)
+	}
+}
+
+func TestRunGoldenCannotBeNarrowed(t *testing.T) {
+	code, _, stderr := cli(t, "-golden", "-run", "fig1", "-golden-dir", t.TempDir())
+	if code != 2 || !strings.Contains(stderr, "cannot be narrowed") {
+		t.Fatalf("exit %d stderr %q, want 2 + narrowing rejection", code, stderr)
+	}
+}
+
+// TestRunVerifyAgainstEmptyCorpus: with no committed corpus every cell is
+// MISS and the command exits 1 — the state a new clone would see if the
+// corpus were deleted. The grid is narrowed with -run to keep the test
+// cheap; narrowing also suppresses the stale-entry scan.
+func TestRunVerifyAgainstEmptyCorpusFails(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := cli(t, "-verify", "-run", "faultanomaly", "-golden-dir", dir)
+	if code != 1 {
+		t.Fatalf("exit %d (stderr %s), want 1 for an empty corpus", code, stderr)
+	}
+	if !strings.Contains(stdout, "MISS") || !strings.Contains(stdout, "-golden") {
+		t.Fatalf("report should mark cells MISS and point at -golden: %q", stdout)
+	}
+}
+
+// TestRunVerifyNarrowedRoundTrip exercises the CLI verify path end to end
+// against a corpus generated through the engine, with the obs layer
+// attached (-trace prints per-cell spans).
+func TestRunVerifyNarrowedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cells := []verify.Cell{
+		{Experiment: "faultanomaly", Seed: 1, Scale: 0.05},
+		{Experiment: "faultanomaly", Seed: 2, Scale: 0.05},
+		{Experiment: "faultanomaly", Seed: 1, Scale: 0.1},
+		{Experiment: "faultanomaly", Seed: 1, Scale: 0.05, Procs: 1},
+		{Experiment: "faultanomaly", Seed: 1, Scale: 0.05, Procs: 4},
+	}
+	if _, err := verify.Sweep(cells, verify.Options{Dir: dir, Update: true}); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := cli(t, "-verify", "-run", "faultanomaly", "-golden-dir", dir, "-trace")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "cells ok") || !strings.Contains(stdout, "cell") {
+		t.Fatalf("verify summary or span trace missing: %q", stdout)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -53,11 +54,14 @@ func Table2(cfg Config) (*Table2Result, error) {
 	out := &Table2Result{Signals: train.Trainer.Stats()}
 
 	// Select the most transition-correlated syscalls (the paper picks
-	// writev, lseek, stat, poll for Apache).
+	// writev, lseek, stat, poll for Apache). Select returns a set; the
+	// reported subset is sorted so the output never depends on map
+	// iteration order (caught by the golden-fingerprint corpus).
 	selected := train.Trainer.Select(4, 20)
 	for name := range selected {
 		out.Selected = append(out.Selected, name)
 	}
+	sort.Strings(out.Selected)
 
 	// Uniform syscall-triggered sampling at the paper's web granularity.
 	uniform, err := core.Run(core.Options{

@@ -1,0 +1,230 @@
+package verify
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Cell identifies one verification run: an experiment at a seed and scale,
+// optionally pinned to a GOMAXPROCS setting. Procs is not part of the
+// corpus key — determinism across GOMAXPROCS is the claim under test, so
+// cells differing only in Procs must reproduce the same fingerprint and
+// compare against the same golden file.
+type Cell struct {
+	Experiment string
+	Seed       int64
+	Scale      float64
+	// Procs, when positive, runs the cell under that GOMAXPROCS setting;
+	// zero inherits the process default.
+	Procs int
+}
+
+// Key is the cell's corpus identity (and golden file basename).
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s_seed%d_scale%s", c.Experiment, c.Seed, FormatFloat(c.Scale))
+}
+
+func (c Cell) String() string {
+	if c.Procs > 0 {
+		return fmt.Sprintf("%s seed=%d scale=%s procs=%d", c.Experiment, c.Seed, FormatFloat(c.Scale), c.Procs)
+	}
+	return fmt.Sprintf("%s seed=%d scale=%s", c.Experiment, c.Seed, FormatFloat(c.Scale))
+}
+
+// Golden is one committed corpus entry: a cell's expected fingerprint and
+// canonical lines.
+type Golden struct {
+	Cell        Cell
+	Fingerprint string
+	Lines       []Line
+}
+
+// Corpus is a loaded golden directory, keyed by Cell.Key.
+type Corpus struct {
+	Dir     string
+	Entries map[string]*Golden
+}
+
+const (
+	corpusExt    = ".golden"
+	corpusHeader = "# rbv golden fingerprint v1"
+)
+
+// goldenPath returns the file a cell's golden entry lives in.
+func goldenPath(dir string, c Cell) string {
+	return filepath.Join(dir, c.Key()+corpusExt)
+}
+
+// WriteGolden writes one cell's canonical lines (and fingerprint header)
+// into the corpus directory, creating it as needed.
+func WriteGolden(dir string, c Cell, lines []Line) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", corpusHeader)
+	fmt.Fprintf(&b, "# cell: %s seed=%d scale=%s\n", c.Experiment, c.Seed, FormatFloat(c.Scale))
+	fmt.Fprintf(&b, "# fingerprint: %s\n", FingerprintLines(lines))
+	for _, l := range lines {
+		b.WriteString(l.Path)
+		b.WriteByte('\t')
+		b.WriteString(l.Value)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(goldenPath(dir, c), []byte(b.String()), 0o644)
+}
+
+// ReadGolden loads one cell's committed entry.
+func ReadGolden(dir string, c Cell) (*Golden, error) {
+	f, err := os.Open(goldenPath(dir, c))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g := &Golden{Cell: c}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# fingerprint: "); ok {
+				g.Fingerprint = rest
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		path, value, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("verify: %s: malformed line %q", goldenPath(dir, c), line)
+		}
+		g.Lines = append(g.Lines, Line{Path: path, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if got := FingerprintLines(g.Lines); g.Fingerprint != got {
+		return nil, fmt.Errorf("verify: %s: header fingerprint %s does not match its own lines (%s) — file corrupted or hand-edited",
+			goldenPath(dir, c), g.Fingerprint, got)
+	}
+	return g, nil
+}
+
+// LoadCorpus reads every golden file in dir. Unknown cells (files whose key
+// no grid cell references) are fine at this layer; Sweep reports them as
+// stale when asked.
+func LoadCorpus(dir string) (*Corpus, error) {
+	corpus := &Corpus{Dir: dir, Entries: map[string]*Golden{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, corpusExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, corpusExt)
+		cell, err := parseKey(key)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %s: %w", name, err)
+		}
+		g, err := ReadGolden(dir, cell)
+		if err != nil {
+			return nil, err
+		}
+		corpus.Entries[key] = g
+	}
+	return corpus, nil
+}
+
+// Keys returns the corpus's cell keys, sorted.
+func (c *Corpus) Keys() []string {
+	keys := make([]string, 0, len(c.Entries))
+	for k := range c.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// parseKey inverts Cell.Key for corpus loading.
+func parseKey(key string) (Cell, error) {
+	i := strings.LastIndex(key, "_seed")
+	j := strings.LastIndex(key, "_scale")
+	if i < 0 || j < i {
+		return Cell{}, fmt.Errorf("malformed corpus key %q", key)
+	}
+	var cell Cell
+	cell.Experiment = key[:i]
+	if _, err := fmt.Sscanf(key[i:j], "_seed%d", &cell.Seed); err != nil {
+		return Cell{}, fmt.Errorf("malformed corpus key %q: %v", key, err)
+	}
+	if _, err := fmt.Sscanf(key[j:], "_scale%g", &cell.Scale); err != nil {
+		return Cell{}, fmt.Errorf("malformed corpus key %q: %v", key, err)
+	}
+	return cell, nil
+}
+
+// Divergence pinpoints the first difference between a cell's fresh run and
+// its golden entry.
+type Divergence struct {
+	// Index is the 0-based line position where the streams first differ.
+	Index int
+	// Path is the divergent field (the golden line's when present, else
+	// the fresh run's).
+	Path string
+	// Golden and Got are the differing rendered values; an empty Golden
+	// with a non-empty Got means the fresh run emitted extra lines, and
+	// vice versa.
+	Golden, Got string
+	// GoldenPath is set (and differs from Path) when the two streams
+	// diverge structurally — different fields at the same position.
+	GoldenPath string
+}
+
+func (d *Divergence) String() string {
+	switch {
+	case d.Golden == "" && d.GoldenPath == "":
+		return fmt.Sprintf("line %d: extra output %s = %s (golden ends earlier)", d.Index+1, d.Path, d.Got)
+	case d.Got == "" && d.Path == d.GoldenPath:
+		return fmt.Sprintf("line %d: missing output %s = %s (run ends earlier)", d.Index+1, d.GoldenPath, d.Golden)
+	case d.GoldenPath != "" && d.GoldenPath != d.Path:
+		return fmt.Sprintf("line %d: structure changed: golden has %s = %s, run has %s = %s",
+			d.Index+1, d.GoldenPath, d.Golden, d.Path, d.Got)
+	default:
+		return fmt.Sprintf("line %d: %s: golden %s, got %s", d.Index+1, d.Path, d.Golden, d.Got)
+	}
+}
+
+// Diff locates the first divergence between golden and fresh canonical
+// lines, or nil when they are identical.
+func Diff(golden, got []Line) *Divergence {
+	n := len(golden)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		g, r := golden[i], got[i]
+		if g.Path == r.Path && g.Value == r.Value {
+			continue
+		}
+		d := &Divergence{Index: i, Path: r.Path, Got: r.Value, Golden: g.Value}
+		if g.Path != r.Path {
+			d.GoldenPath = g.Path
+		}
+		return d
+	}
+	if len(got) > n {
+		return &Divergence{Index: n, Path: got[n].Path, Got: got[n].Value}
+	}
+	if len(golden) > n {
+		return &Divergence{Index: n, Path: golden[n].Path, GoldenPath: golden[n].Path, Golden: golden[n].Value}
+	}
+	return nil
+}

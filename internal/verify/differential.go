@@ -1,0 +1,295 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/distance"
+	"repro/internal/fault"
+	"repro/internal/signature"
+)
+
+// Differential is one fast-path/oracle equivalence check. Check runs a
+// seeded randomized trial and returns an error describing the first
+// mismatch between the optimized implementation and its naive reference;
+// equal seeds replay equal trials, so a failure reported by CI reproduces
+// locally from its seed alone.
+type Differential struct {
+	Name string
+	// Check must be safe to call concurrently with other Check calls (the
+	// suite runs under -race at several GOMAXPROCS settings).
+	Check func(seed int64) error
+}
+
+// Differentials pairs every fast path in the repository with its reference
+// oracle. The suite is the authoritative list — tests range over it, so a
+// new fast path earns continuous differential coverage by adding one entry
+// here.
+func Differentials() []Differential {
+	return []Differential{
+		{Name: "matrix/parallel-vs-serial", Check: checkMatrixParallel},
+		{Name: "dtw/banded-vs-exact", Check: checkDTWBand},
+		{Name: "signature/session-vs-naive", Check: checkSessionNaive},
+		{Name: "signature/service-vs-naive", Check: checkServiceNaive},
+		{Name: "pastrequests/ring-vs-recompute", Check: checkPastRequests},
+		{Name: "fault/evaluate-vs-bruteforce", Check: checkFaultEvaluate},
+	}
+}
+
+// randSeq draws a length-n sequence of non-negative values shaped like the
+// resampled metric patterns the real pipeline produces.
+func randSeq(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 4 * r.Float64()
+		if r.Intn(8) == 0 {
+			s[i] *= 10 // occasional spike, like a pollution burst
+		}
+	}
+	return s
+}
+
+// checkMatrixParallel: the parallel triangular fill must be bit-identical
+// to a serial fill of the same population under the same measure.
+func checkMatrixParallel(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	n := 12 + r.Intn(30)
+	seqs := make([][]float64, n)
+	for i := range seqs {
+		seqs[i] = randSeq(r, 5+r.Intn(40))
+	}
+	d := distance.DTW{AsyncPenalty: r.Float64()}
+	serial := distance.NewMatrixFromSequences(seqs, d, distance.MatrixOptions{Workers: 1})
+	par := distance.NewMatrixFromSequences(seqs, d, distance.MatrixOptions{
+		Workers:  2 + r.Intn(7),
+		RowBlock: 1 + r.Intn(4),
+	})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if s, p := serial.At(i, j), par.At(i, j); math.Float64bits(s) != math.Float64bits(p) {
+				return fmt.Errorf("cell (%d,%d): serial %v, parallel %v", i, j, s, p)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDTWBand: a Sakoe-Chiba band covering the whole DP grid must be
+// bit-identical to the unconstrained distance, for every pair of a small
+// random population (empty sequences included — their early returns bypass
+// the band entirely and must stay consistent).
+func checkDTWBand(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	pool := make([][]float64, 8)
+	for i := range pool {
+		pool[i] = randSeq(r, r.Intn(30)) // Intn(30) can be 0: empty sequence
+	}
+	penalty := r.Float64()
+	exact := distance.DTW{AsyncPenalty: penalty}
+	for i := range pool {
+		for j := range pool {
+			x, y := pool[i], pool[j]
+			m := len(x)
+			if len(y) > m {
+				m = len(y)
+			}
+			full := distance.DTW{AsyncPenalty: penalty, Window: m} // ≥ max(m,n)−1: covers the grid
+			e, b := exact.Distance(x, y), full.Distance(x, y)
+			if math.Float64bits(e) != math.Float64bits(b) {
+				return fmt.Errorf("pair (%d,%d) len (%d,%d): exact %v, full-band %v", i, j, len(x), len(y), e, b)
+			}
+		}
+	}
+	return nil
+}
+
+// randBank builds a bank of random signature patterns, with deliberate
+// duplicates so tie-breaking is exercised (naive adoption is strict <, so
+// the lowest index wins a tie — the fast path must reproduce that).
+func randBank(r *rand.Rand) *signature.Bank {
+	b := &signature.Bank{BucketIns: 1e6}
+	n := 3 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		var pat []float64
+		if i > 0 && r.Intn(5) == 0 {
+			pat = append([]float64{}, b.Entries[r.Intn(i)].Pattern...) // duplicate: forces a tie
+		} else {
+			pat = randSeq(r, r.Intn(24)) // may be empty or shorter than prefixes
+		}
+		b.Entries = append(b.Entries, signature.Entry{
+			Pattern:   pat,
+			CPUTimeNs: r.Float64() * 1e7,
+		})
+	}
+	b.ThresholdNs = 5e6
+	return b
+}
+
+// checkSessionNaive: a Session's incremental Best must equal the naive
+// IdentifyPattern rescan after every extension, including mid-request
+// prefix rewrites (Update with a changed bucket forces the rebuild path).
+func checkSessionNaive(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	bank := randBank(r)
+	m := signature.NewMatcher(bank)
+	s := m.NewSession()
+	var prefix []float64
+	for step := 0; step < 30; step++ {
+		if r.Intn(10) == 0 && len(prefix) > 0 {
+			// Resampling revised an already-observed bucket: rebuild.
+			prefix = append([]float64{}, prefix...)
+			prefix[r.Intn(len(prefix))] += r.Float64()
+			s.Update(prefix)
+		} else {
+			delta := randSeq(r, 1+r.Intn(3))
+			prefix = append(prefix, delta...)
+			s.Extend(delta...)
+		}
+		want := bank.IdentifyPattern(prefix)
+		if got := s.Best(); got != want {
+			return fmt.Errorf("step %d (prefix %d): session best %d, naive %d", step, len(prefix), got, want)
+		}
+		if wantHigh := bank.PredictHighUsage(prefix); s.PredictHigh() != wantHigh {
+			return fmt.Errorf("step %d: session PredictHigh %v, naive %v", step, s.PredictHigh(), wantHigh)
+		}
+	}
+	return nil
+}
+
+// checkServiceNaive: the sharded concurrent Service must agree with the
+// naive rescan for every in-flight request, with interleaved observations
+// from several goroutines.
+func checkServiceNaive(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	bank := randBank(r)
+	svc := signature.NewService(signature.NewMatcher(bank), 4)
+	const requests = 24
+	prefixes := make([][]float64, requests)
+	steps := make([][][]float64, requests)
+	for id := range steps {
+		n := 1 + r.Intn(8)
+		for s := 0; s < n; s++ {
+			d := randSeq(r, 1+r.Intn(3))
+			steps[id] = append(steps[id], d)
+			prefixes[id] = append(prefixes[id], d...)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	for id := 0; id < requests; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for _, d := range steps[id] {
+				svc.Observe(uint64(id), d...)
+			}
+			want := bank.IdentifyPattern(prefixes[id])
+			if got := svc.Best(uint64(id)); got != want {
+				errs[id] = fmt.Errorf("request %d: service best %d, naive %d", id, got, want)
+			}
+			svc.Finish(uint64(id))
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if live := svc.Live(); live != 0 {
+		return fmt.Errorf("service leaked %d sessions", live)
+	}
+	return nil
+}
+
+// checkPastRequests: the O(1) ring-plus-running-sum predictor must agree
+// with a from-scratch mean over the trailing window after every
+// observation.
+func checkPastRequests(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	size := 1 + r.Intn(12)
+	p := signature.NewPastRequests(size)
+	threshold := 5e6
+	var history []float64
+	for step := 0; step < 200; step++ {
+		cpu := r.Float64() * 1e7
+		p.Observe(cpu)
+		history = append(history, cpu)
+		window := history
+		if len(window) > size {
+			window = window[len(window)-size:]
+		}
+		var sum float64
+		for _, v := range window {
+			sum += v
+		}
+		want := sum/float64(len(window)) > threshold
+		if got := p.PredictHigh(threshold); got != want {
+			return fmt.Errorf("step %d (window %d): ring %v, recompute %v", step, len(window), got, want)
+		}
+	}
+	return nil
+}
+
+// checkFaultEvaluate: precision/recall/F1 from fault.Evaluate must match a
+// brute-force recount over explicit set intersections, including the
+// empty-truth conventions.
+func checkFaultEvaluate(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	randSet := func() map[uint64]bool {
+		s := map[uint64]bool{}
+		for n := r.Intn(40); n > 0; n-- {
+			s[uint64(r.Intn(50))] = true
+		}
+		return s
+	}
+	for trial := 0; trial < 20; trial++ {
+		pred, truth := randSet(), randSet()
+		switch trial {
+		case 0:
+			pred, truth = map[uint64]bool{}, map[uint64]bool{} // both-empty convention: perfect score
+		case 1:
+			truth = map[uint64]bool{} // nothing to find, false alarms only
+		case 2:
+			pred = map[uint64]bool{} // everything missed
+		}
+		got := fault.Evaluate(pred, truth)
+		var tp int
+		for id := range pred {
+			if truth[id] {
+				tp++
+			}
+		}
+		want := fault.Eval{TruePositives: tp, FalsePositives: len(pred) - tp, FalseNegatives: len(truth) - tp}
+		want.Precision, want.Recall, want.F1 = prf(tp, len(pred), len(truth))
+		if got != want {
+			return fmt.Errorf("trial %d: Evaluate %+v, brute force %+v", trial, got, want)
+		}
+	}
+	return nil
+}
+
+// prf computes precision/recall/F1 from the set sizes, as an independent
+// reimplementation of fault.Evaluate's arithmetic and its documented
+// empty-set conventions: nothing to find scores recall 1 regardless of
+// claims, and claiming nothing is perfect precision only when there was
+// nothing to find.
+func prf(tp, predicted, truth int) (p, rec, f1 float64) {
+	switch {
+	case predicted > 0:
+		p = float64(tp) / float64(predicted)
+	case truth == 0:
+		p = 1
+	}
+	if truth == 0 {
+		rec = 1
+	} else {
+		rec = float64(tp) / float64(truth)
+	}
+	if p+rec > 0 {
+		f1 = 2 * p * rec / (p + rec)
+	}
+	return p, rec, f1
+}

@@ -1,0 +1,159 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/signature"
+)
+
+// The fuzz targets stress the same equivalences the differential suite
+// samples, but with adversarial inputs: arbitrary lengths (empty sequences
+// included), arbitrary band widths, banks whose entries tie or truncate.
+// CI runs each under a short smoke budget (`make fuzz`); the checked-in
+// seed corpus below keeps plain `go test` exercising the properties too.
+
+// fuzzSeq decodes fuzz bytes into a bounded non-negative sequence: one
+// value per byte, so the fuzzer controls length and shape byte by byte.
+func fuzzSeq(data []byte, maxLen int) []float64 {
+	if len(data) > maxLen {
+		data = data[:maxLen]
+	}
+	s := make([]float64, len(data))
+	for i, b := range data {
+		s[i] = float64(b) / 16
+	}
+	return s
+}
+
+// FuzzDTW checks three DTW invariants for arbitrary sequences, penalties,
+// and band widths: a band covering the grid is bit-identical to the exact
+// distance; any band is an upper bound on it (paths are only forbidden,
+// never added); and the distance is symmetric.
+func FuzzDTW(f *testing.F) {
+	f.Add([]byte{0, 16, 32}, []byte{32, 16, 0}, uint8(1), uint8(8))
+	f.Add([]byte{}, []byte{200, 3}, uint8(0), uint8(0))
+	f.Add([]byte{5}, []byte{5, 5, 5, 5, 5, 5, 5, 5}, uint8(2), uint8(16))
+	f.Fuzz(func(t *testing.T, xb, yb []byte, window, penalty uint8) {
+		x, y := fuzzSeq(xb, 64), fuzzSeq(yb, 64)
+		pen := float64(penalty) / 32
+		exact := distance.DTW{AsyncPenalty: pen}
+		e := exact.Distance(x, y)
+
+		m := len(x)
+		if len(y) > m {
+			m = len(y)
+		}
+		full := distance.DTW{AsyncPenalty: pen, Window: m + 1}
+		if fb := full.Distance(x, y); math.Float64bits(fb) != math.Float64bits(e) {
+			t.Fatalf("full band (w=%d) %v != exact %v (len %d,%d)", m+1, fb, e, len(x), len(y))
+		}
+		if w := int(window); w > 0 {
+			banded := distance.DTW{AsyncPenalty: pen, Window: w}
+			if b := banded.Distance(x, y); b < e {
+				t.Fatalf("band w=%d produced %v below the unconstrained %v", w, b, e)
+			}
+		}
+		if s := exact.Distance(y, x); math.Float64bits(s) != math.Float64bits(e) {
+			t.Fatalf("asymmetric: d(x,y)=%v d(y,x)=%v", e, s)
+		}
+	})
+}
+
+// FuzzSignatureMatch checks that the incremental Session reports the same
+// best index as the naive full rescan after every single-bucket extension,
+// for arbitrary banks (entry lengths chosen by the fuzzer, duplicates
+// possible) and arbitrary prefixes.
+func FuzzSignatureMatch(f *testing.F) {
+	f.Add([]byte{4, 1, 2, 3, 4, 2, 9, 9, 0}, []byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 3, 7, 7, 7}, []byte{7, 7})
+	f.Add([]byte{1, 200, 1, 200}, []byte{})
+	f.Fuzz(func(t *testing.T, bankBytes, prefixBytes []byte) {
+		// Bank encoding: [len][len bytes of pattern]... repeated; a zero
+		// length makes an empty-pattern entry (legal: it can never explain
+		// any bucket, so it pays the prefix's own values).
+		bank := &signature.Bank{BucketIns: 1e6}
+		for i := 0; i < len(bankBytes) && len(bank.Entries) < 16; {
+			n := int(bankBytes[i] % 12)
+			i++
+			end := i + n
+			if end > len(bankBytes) {
+				end = len(bankBytes)
+			}
+			bank.Entries = append(bank.Entries, signature.Entry{
+				Pattern:   fuzzSeq(bankBytes[i:end], 12),
+				CPUTimeNs: float64(n) * 1e6,
+			})
+			i = end
+		}
+		bank.ThresholdNs = 4e6
+		s := signature.NewMatcher(bank).NewSession()
+		var prefix []float64
+		for _, b := range fuzzSeq(prefixBytes, 48) {
+			prefix = append(prefix, b)
+			s.Extend(b)
+			if got, want := s.Best(), bank.IdentifyPattern(prefix); got != want {
+				t.Fatalf("prefix len %d: session best %d, naive %d", len(prefix), got, want)
+			}
+		}
+	})
+}
+
+// FuzzFingerprintStability checks the canonicalization's own guarantees:
+// fingerprinting is deterministic, independent of map insertion order, and
+// emits a parseable line format (exactly one path, tab, value per line; no
+// raw newlines or tabs leak out of quoted strings).
+func FuzzFingerprintStability(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, "app\tname\n")
+	f.Add([]byte{}, "")
+	f.Add([]byte{255, 0, 128}, "Ω non-ascii / slash")
+	f.Fuzz(func(t *testing.T, nums []byte, s string) {
+		type inner struct {
+			Tag  string
+			Vals []float64
+		}
+		vals := fuzzSeq(nums, 32)
+		fwd := map[string]inner{}
+		rev := map[string]inner{}
+		keys := []string{s, s + "x", "k\t" + s, "", "plain"}
+		for i, k := range keys {
+			v := inner{Tag: s, Vals: append([]float64{float64(i)}, vals...)}
+			fwd[k] = v
+		}
+		for i := len(keys) - 1; i >= 0; i-- {
+			rev[keys[i]] = fwd[keys[i]]
+		}
+		fa, err := Fingerprint(fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := Fingerprint(rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa != fb {
+			t.Fatalf("map insertion order changed fingerprint: %s vs %s", fa, fb)
+		}
+		again, err := Fingerprint(fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa != again {
+			t.Fatalf("fingerprint unstable across calls: %s vs %s", fa, again)
+		}
+		lines, err := Canonicalize(fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range lines {
+			if strings.ContainsAny(l.Path, "\t\n") {
+				t.Fatalf("path %q contains separator bytes", l.Path)
+			}
+			if strings.Contains(l.Value, "\n") {
+				t.Fatalf("value %q contains a newline", l.Value)
+			}
+		}
+	})
+}
