@@ -26,6 +26,12 @@
 // perf regression — an accidental O(n²), a lost fast path — fails loudly.
 // Benchmarks under -floor ns/op in the baseline are skipped (single-shot
 // timings of sub-100µs benchmarks are dominated by noise).
+//
+// When the baseline and the fresh run both carry -benchmem columns, B/op
+// and allocs/op are guarded the same way under their own -mem-tolerance
+// factor (allocation counts are deterministic, but GC internals can shift
+// across Go versions, so the factor stays generous). Baselines under
+// -bytes-floor B/op or -allocs-floor allocs/op are skipped as noise.
 package main
 
 import (
@@ -81,6 +87,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	against := fs.String("against", "", "baseline BENCH_*.json to compare parsed results to")
 	tolerance := fs.Float64("tolerance", 3, "fail when a benchmark exceeds baseline ns/op times this factor")
 	floor := fs.Float64("floor", 100e3, "skip comparison for baselines below this many ns/op (noise)")
+	memTolerance := fs.Float64("mem-tolerance", 3, "fail when a benchmark exceeds baseline B/op or allocs/op times this factor")
+	bytesFloor := fs.Float64("bytes-floor", 1e6, "skip B/op comparison for baselines below this many bytes (noise)")
+	allocsFloor := fs.Float64("allocs-floor", 10e3, "skip allocs/op comparison for baselines below this many allocations (noise)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -134,7 +143,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *against != "" {
-		if err := compareBaseline(rep, *against, *tolerance, *floor, stderr); err != nil {
+		tol := tolerances{
+			Ns: *tolerance, NsFloor: *floor,
+			Mem: *memTolerance, BytesFloor: *bytesFloor, AllocsFloor: *allocsFloor,
+		}
+		if err := compareBaseline(rep, *against, tol, stderr); err != nil {
 			fmt.Fprintf(stderr, "benchjson: %v\n", err)
 			return 1
 		}
@@ -142,11 +155,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// tolerances bundles the -against comparison factors and noise floors.
+type tolerances struct {
+	Ns, NsFloor              float64
+	Mem, BytesFloor, AllocsFloor float64
+}
+
 // compareBaseline diffs the fresh results against a recorded snapshot and
-// errors when any shared benchmark regressed beyond the tolerance factor.
-// Benchmarks present on only one side are reported but never fail the
-// comparison — suites evolve; gross slowdowns are the target.
-func compareBaseline(rep Report, path string, tolerance, floor float64, stderr io.Writer) error {
+// errors when any shared benchmark regressed beyond the tolerance factors
+// (wall time, allocated bytes, and allocation counts each under their own
+// factor and noise floor). Benchmarks present on only one side are reported
+// but never fail the comparison — suites evolve; gross slowdowns are the
+// target.
+func compareBaseline(rep Report, path string, tol tolerances, stderr io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -155,27 +176,39 @@ func compareBaseline(rep Report, path string, tolerance, floor float64, stderr i
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", path, err)
 	}
-	baseNs := map[string]float64{}
+	baseBench := map[string]Benchmark{}
 	for _, b := range base.Benchmarks {
-		baseNs[b.Name] = b.NsPerOp
+		baseBench[b.Name] = b
 	}
 	var regressions, compared, skipped int
-	seen := map[string]bool{}
-	for _, b := range rep.Benchmarks {
-		seen[b.Name] = true
-		want, ok := baseNs[b.Name]
+	// check compares one dimension of one benchmark against the baseline,
+	// tallying into the counters above. A dimension absent from both sides
+	// (e.g. no -benchmem columns) is not a comparison at all.
+	check := func(name, unit string, got, want, factor, floor float64) {
 		switch {
-		case !ok:
-			fmt.Fprintf(stderr, "benchjson: new benchmark %s (no baseline)\n", b.Name)
-		case want < floor || b.NsPerOp == 0:
+		case got == 0 && want == 0:
+		case want < floor || got == 0:
 			skipped++
-		case b.NsPerOp > want*tolerance:
+		case got > want*factor:
 			regressions++
-			fmt.Fprintf(stderr, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.1fx > %.1fx tolerance)\n",
-				b.Name, b.NsPerOp, want, b.NsPerOp/want, tolerance)
+			fmt.Fprintf(stderr, "benchjson: REGRESSION %s: %.0f %s vs baseline %.0f (%.1fx > %.1fx tolerance)\n",
+				name, got, unit, want, got/want, factor)
 		default:
 			compared++
 		}
+	}
+	seen := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		seen[b.Name] = true
+		want, ok := baseBench[b.Name]
+		if !ok {
+			fmt.Fprintf(stderr, "benchjson: new benchmark %s (no baseline)\n", b.Name)
+			continue
+		}
+		check(b.Name, "ns/op", b.NsPerOp, want.NsPerOp, tol.Ns, tol.NsFloor)
+		// Memory dimensions only exist when both sides ran -benchmem.
+		check(b.Name, "B/op", b.Metrics["B/op"], want.Metrics["B/op"], tol.Mem, tol.BytesFloor)
+		check(b.Name, "allocs/op", b.Metrics["allocs/op"], want.Metrics["allocs/op"], tol.Mem, tol.AllocsFloor)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
@@ -185,7 +218,7 @@ func compareBaseline(rep Report, path string, tolerance, floor float64, stderr i
 	fmt.Fprintf(stderr, "benchjson: baseline %s: %d compared, %d under floor, %d regressions\n",
 		path, compared, skipped, regressions)
 	if regressions > 0 {
-		return fmt.Errorf("%d benchmarks regressed beyond %.1fx", regressions, tolerance)
+		return fmt.Errorf("%d benchmark dimensions regressed beyond tolerance", regressions)
 	}
 	return nil
 }

@@ -167,6 +167,69 @@ func TestAgainstSkipsSubFloorBaselines(t *testing.T) {
 	}
 }
 
+// writeBenchBaseline records a baseline snapshot from full Benchmark
+// entries (ns/op plus -benchmem metrics).
+func writeBenchBaseline(t *testing.T, benchmarks []Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(Report{Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// An allocation-count blowup must fail the gate even when wall time stays
+// within tolerance — the alloc leg exists precisely because ns/op noise
+// tolerances are too loose to catch a lost pooling fast path.
+func TestAgainstFailsOnAllocRegression(t *testing.T) {
+	base := writeBenchBaseline(t, []Benchmark{{
+		Name: "BenchmarkPairwiseMatrix/serial", Iterations: 1, NsPerOp: 850000,
+		Metrics: map[string]float64{"B/op": 200, "allocs/op": 500000},
+	}})
+	// The fresh run's 3 allocs/op against a 500k baseline is an
+	// improvement, never a regression.
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-against", base, "-allocs-floor", "1"}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+
+	base = writeBenchBaseline(t, []Benchmark{{
+		Name: "BenchmarkPairwiseMatrix/serial", Iterations: 1, NsPerOp: 850000,
+		Metrics: map[string]float64{"B/op": 250, "allocs/op": 0.5},
+	}})
+	out.Reset()
+	errBuf.Reset()
+	code = run([]string{"-against", base, "-allocs-floor", "0.1", "-bytes-floor", "1"}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a 6x allocs/op regression: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "allocs/op") {
+		t.Fatalf("alloc regression not named: %s", errBuf.String())
+	}
+}
+
+// Memory dimensions sit under their own floors: a large relative change on
+// a tiny absolute baseline is noise, not a regression.
+func TestAgainstSkipsSubFloorMemBaselines(t *testing.T) {
+	base := writeBenchBaseline(t, []Benchmark{{
+		Name: "BenchmarkPairwiseMatrix/serial", Iterations: 1, NsPerOp: 850000,
+		Metrics: map[string]float64{"B/op": 1, "allocs/op": 1},
+	}})
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-against", base}, strings.NewReader(sampleBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "2 under floor") {
+		t.Fatalf("mem floor skips not reported: %s", errBuf.String())
+	}
+}
+
 func TestAgainstMissingBaselineFileExitsOne(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	code := run([]string{"-against", filepath.Join(t.TempDir(), "nope.json")}, strings.NewReader(sampleBench), &out, &errBuf)

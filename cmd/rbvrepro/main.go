@@ -4,8 +4,8 @@
 // Usage:
 //
 //	rbvrepro [-seed N] [-scale F] [-run LIST] [-json FILE] [-trace] [-obs-sample N]
-//	rbvrepro -verify [-run LIST] [-golden-dir DIR] [-verify-workers N]
-//	rbvrepro -golden [-golden-dir DIR] [-verify-workers N]
+//	rbvrepro -verify [-grid smoke|full] [-run LIST] [-golden-dir DIR] [-verify-workers N]
+//	rbvrepro -golden [-grid smoke|full] [-golden-dir DIR] [-verify-workers N]
 //
 // where LIST is a comma-separated subset of the experiment registry
 // (default: everything, in paper order; see experiments.Registry). -json
@@ -14,11 +14,14 @@
 // every run. Collectors never change results (see package obs).
 //
 // -verify runs the deterministic verification sweep (package verify): the
-// full experiment grid is re-executed in parallel and checked against the
-// committed golden-fingerprint corpus, and any divergence is reported with
-// the experiment name and first divergent field. -golden re-runs the same
-// grid and regenerates the corpus — the step after an intentional output
-// change (see README "Verification").
+// selected experiment grid is re-executed in parallel and checked against
+// the committed golden-fingerprint corpus, and any divergence is reported
+// with the experiment name and first divergent field. -grid picks the tier:
+// "smoke" (the default seed x scale x GOMAXPROCS spread, corpus
+// testdata/golden) or "full" (every experiment at seed 1, scale 1 — the
+// README's quoted configuration, corpus testdata/golden-full). -golden
+// re-runs the selected grid and regenerates its corpus — the step after an
+// intentional output change (see README "Verification").
 package main
 
 import (
@@ -51,7 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	obsSample := fs.Uint64("obs-sample", 1, "record 1 in N observations of the highest-frequency span series")
 	verifyMode := fs.Bool("verify", false, "check the experiment grid against the golden-fingerprint corpus")
 	goldenMode := fs.Bool("golden", false, "regenerate the golden-fingerprint corpus from the current code")
-	goldenDir := fs.String("golden-dir", "internal/verify/testdata/golden", "golden corpus directory")
+	goldenDir := fs.String("golden-dir", "", "golden corpus directory (default per -grid tier)")
+	gridTier := fs.String("grid", "smoke", "verification grid tier: smoke (seed x scale x GOMAXPROCS spread) or full (every experiment at seed 1, scale 1)")
 	verifyWorkers := fs.Int("verify-workers", 0, "concurrent verification cells (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,7 +79,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "rbvrepro: -verify and -golden are mutually exclusive")
 			return 2
 		}
-		grid := verify.DefaultGrid()
+		// Each grid tier owns its corpus directory, so the smoke and full
+		// corpora regenerate independently.
+		var grid []verify.Cell
+		switch *gridTier {
+		case "smoke":
+			grid = verify.DefaultGrid()
+			if *goldenDir == "" {
+				*goldenDir = "internal/verify/testdata/golden"
+			}
+		case "full":
+			grid = verify.FullGrid()
+			if *goldenDir == "" {
+				*goldenDir = "internal/verify/testdata/golden-full"
+			}
+		default:
+			fmt.Fprintf(stderr, "rbvrepro: unknown -grid tier %q (valid: smoke, full)\n", *gridTier)
+			return 2
+		}
 		partial := false
 		if *runList != "" {
 			// -run narrows the verification grid the same way it narrows a

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -18,18 +19,28 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "tpcc", "application: webserver, tpcc, tpch, rubis, webwork")
-	requests := flag.Int("requests", 20, "requests to run")
-	cores := flag.Int("cores", 0, "machine cores (0 = the paper's 4)")
-	seed := flag.Int64("seed", 1, "random seed")
-	limit := flag.Int("limit", 3, "number of request timelines to print")
-	buckets := flag.Int("buckets", 20, "resampling buckets per request")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flag and lookup errors exit 2, run
+// failures exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rbvtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "tpcc", "application: webserver, tpcc, tpch, rubis, webwork")
+	requests := fs.Int("requests", 20, "requests to run")
+	cores := fs.Int("cores", 0, "machine cores (0 = the paper's 4)")
+	seed := fs.Int64("seed", 1, "random seed")
+	limit := fs.Int("limit", 3, "number of request timelines to print")
+	buckets := fs.Int("buckets", 20, "resampling buckets per request")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	app, err := workload.ByName(*appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rbvtrace:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "rbvtrace:", err)
+		return 2
 	}
 	res, err := core.Run(core.Options{
 		App:      app,
@@ -39,17 +50,17 @@ func main() {
 		Seed:     *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rbvtrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rbvtrace:", err)
+		return 1
 	}
 
-	fmt.Printf("%s: %d requests traced, %d samples (%.2f us sampling overhead)\n\n",
+	fmt.Fprintf(stdout, "%s: %d requests traced, %d samples (%.2f us sampling overhead)\n\n",
 		app.Name(), res.Store.Len(), res.Samples.Total(), res.Samples.OverheadNs()/1000)
 	for i, tr := range res.Store.Traces {
 		if i >= *limit {
 			break
 		}
-		fmt.Printf("%s\n", tr)
+		fmt.Fprintf(stdout, "%s\n", tr)
 		bucket := float64(tr.Instructions()) / float64(*buckets)
 		if bucket <= 0 {
 			continue
@@ -57,17 +68,17 @@ func main() {
 		cpi := tr.Resampled(metrics.CPI, bucket)
 		refs := tr.Resampled(metrics.L2RefsPerIns, bucket)
 		miss := tr.Resampled(metrics.L2MissRatio, bucket)
-		fmt.Printf("  %-10s", "progress")
+		fmt.Fprintf(stdout, "  %-10s", "progress")
 		for b := range cpi {
-			fmt.Printf(" %6.0f%%", float64(b+1)/float64(len(cpi))*100)
+			fmt.Fprintf(stdout, " %6.0f%%", float64(b+1)/float64(len(cpi))*100)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		row := func(name string, vals []float64) {
-			fmt.Printf("  %-10s", name)
+			fmt.Fprintf(stdout, "  %-10s", name)
 			for _, v := range vals {
-				fmt.Printf(" %7.3f", v)
+				fmt.Fprintf(stdout, " %7.3f", v)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		row("CPI", cpi)
 		row("L2ref/ins", refs)
@@ -77,15 +88,16 @@ func main() {
 			if max > 12 {
 				max = 12
 			}
-			fmt.Printf("  syscalls (%d):", n)
+			fmt.Fprintf(stdout, "  syscalls (%d):", n)
 			for _, s := range tr.Syscalls[:max] {
-				fmt.Printf(" %s", s.Name)
+				fmt.Fprintf(stdout, " %s", s.Name)
 			}
 			if n > max {
-				fmt.Print(" ...")
+				fmt.Fprint(stdout, " ...")
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsTimelines(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-app", "tpcc", "-requests", "6", "-limit", "2", "-seed", "7"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "tpcc: 6 requests traced") {
+		t.Fatalf("header missing: %s", text)
+	}
+	for _, row := range []string{"progress", "CPI", "L2ref/ins", "missratio"} {
+		if !strings.Contains(text, row) {
+			t.Fatalf("%s row missing:\n%s", row, text)
+		}
+	}
+	// -limit 2 prints exactly two timelines.
+	if got := strings.Count(text, "progress"); got != 2 {
+		t.Fatalf("printed %d timelines, want 2", got)
+	}
+}
+
+// Identical seeds produce byte-identical dumps — rbvtrace output is part of
+// the deterministic surface users compare across machines.
+func TestRunIsDeterministic(t *testing.T) {
+	dump := func() string {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-app", "webwork", "-requests", "3", "-limit", "3", "-seed", "11"}, &out, &errBuf); code != 0 {
+			t.Fatalf("exit %d: %s", code, errBuf.String())
+		}
+		return out.String()
+	}
+	if a, b := dump(), dump(); a != b {
+		t.Fatal("identical invocations diverged")
+	}
+}
+
+func TestRunBuckets(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-app", "tpcc", "-requests", "3", "-limit", "1", "-buckets", "5"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	// 5 buckets: the progress header ends at exactly 100% in 5 steps.
+	if !strings.Contains(out.String(), "20%     40%     60%     80%    100%") {
+		t.Fatalf("expected 5 progress buckets:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownAppExitsTwo(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-app", "nosuch"}, &out, &errBuf)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "rbvtrace:") {
+		t.Fatalf("error not reported: %s", errBuf.String())
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -95,6 +95,15 @@ func (d Demand) weight(cfg Config) float64 {
 // demands denote idle cores and produce 0.
 func MissRatios(cfg Config, demands []*Demand) []float64 {
 	out := make([]float64, len(demands))
+	MissRatiosInto(cfg, demands, out)
+	return out
+}
+
+// MissRatiosInto is MissRatios writing into a caller-provided slice, for
+// hot paths (the machine re-derives rates on every activity change) that
+// must not allocate. out must have len(demands) entries; entries for nil
+// demands are set to 0.
+func MissRatiosInto(cfg Config, demands []*Demand, out []float64) {
 	var totalWeight, totalWS float64
 	for _, d := range demands {
 		if d == nil {
@@ -105,11 +114,11 @@ func MissRatios(cfg Config, demands []*Demand) []float64 {
 	}
 	for i, d := range demands {
 		if d == nil {
+			out[i] = 0
 			continue
 		}
 		out[i] = effectiveMiss(cfg, d, totalWeight, totalWS)
 	}
-	return out
 }
 
 func effectiveMiss(cfg Config, d *Demand, totalWeight, totalWS float64) float64 {

@@ -112,6 +112,9 @@ func EvaluatePlacements(app workload.App, base Config, placements [][]int, concu
 			NodeCPU:       nodeCPU,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MeanLatencyNs < out[j].MeanLatencyNs })
+	// Stable sort: placements are generated in a deterministic order, so
+	// equal-latency entries keep it — sort.Slice's unstable ordering of
+	// ties must never reach the rendered ranking.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MeanLatencyNs < out[j].MeanLatencyNs })
 	return out, nil
 }

@@ -11,11 +11,14 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/sampling"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -99,6 +102,62 @@ func runTracked(cfg Config, app workload.App, cores, requests int) (*core.Result
 		Seed:     cfg.Seed,
 	}, core.WithSampling(core.DefaultSampling(app)), core.WithObserver(cfg.Obs))
 }
+
+// schedSampling is DefaultSampling without system call event retention. The
+// scheduling experiments (Figures 12–13) consume measured periods and the
+// co-execution meter only — never a trace's syscall stream — and their
+// closed-loop request floors make that stream the dominant memory cost of a
+// full-scale registry run. Discarding it changes no simulated event and no
+// reported value.
+func schedSampling(app workload.App) sampling.Config {
+	s := core.DefaultSampling(app)
+	s.DiscardSyscallEvents = true
+	return s
+}
+
+// forEachIndex invokes fn for every index in [0, n): serially in order, or
+// concurrently (bounded by GOMAXPROCS) when parallel is set. Concurrency
+// only reorders wall-clock completion, never results: each fn owns its
+// index's result slot and the caller aggregates in index order afterward,
+// so outputs — including float summation order — are bit-identical to the
+// serial path. On failure the lowest failing index's error is returned,
+// again independent of completion order.
+func forEachIndex(n int, parallel bool, fn func(int) error) error {
+	if !parallel {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelizable reports whether concurrent core.Run calls are safe for
+// this config. Each run owns its engine, kernel, and RNG streams, so runs
+// never share simulation state; the only shared mutable object is the
+// observability collector, whose scope stack assumes one runner — so
+// instrumented configs stay serial.
+func (c Config) parallelizable() bool { return c.Obs == nil }
 
 // requestPeakCPI is the per-request 90-percentile CPI over its measured
 // periods (a request property used by Figures 7).

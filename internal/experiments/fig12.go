@@ -32,39 +32,77 @@ type Figure12Result struct {
 // Figure12 calibrates the per-application high-usage threshold from a
 // baseline run, then measures co-execution proportions under the original
 // and contention-easing schedulers, averaging several runs.
+//
+// All simulations are independent closed-loop runs, so they execute
+// concurrently when the config allows it (see forEachIndex): first the
+// per-app calibrations, then every (app, run, policy) measurement.
+// Aggregation happens afterward in the fixed serial order, keeping results
+// bit-identical to a sequential execution.
 func Figure12(cfg Config) (*Figure12Result, error) {
-	out := &Figure12Result{}
 	apps := []workload.App{workload.NewTPCH(), workload.NewWeBWorK()}
-	for _, app := range apps {
-		n := cfg.schedRequests(app.Name())
-		calib, err := runTracked(cfg, app, 0, n)
-		if err != nil {
-			return nil, fmt.Errorf("figure12 %s calibration: %w", app.Name(), err)
-		}
-		threshold := sched.HighUsageThreshold(calib.Store, 80)
-		if threshold <= 0 {
-			return nil, fmt.Errorf("figure12 %s: degenerate threshold", app.Name())
-		}
+	const runs = 3
+	par := cfg.parallelizable()
 
-		const runs = 3
+	type appRuns struct {
+		n           int
+		threshold   float64
+		orig, eased [runs]*core.Result
+	}
+	states := make([]appRuns, len(apps))
+
+	err := forEachIndex(len(apps), par, func(i int) error {
+		app, st := apps[i], &states[i]
+		st.n = cfg.schedRequests(app.Name())
+		calib, err := core.Run(core.Options{
+			App: app, Requests: st.n, Seed: cfg.Seed,
+		}, core.WithSampling(schedSampling(app)), core.WithObserver(cfg.Obs))
+		if err != nil {
+			return fmt.Errorf("figure12 %s calibration: %w", app.Name(), err)
+		}
+		st.threshold = sched.HighUsageThreshold(calib.Store, 80)
+		if st.threshold <= 0 {
+			return fmt.Errorf("figure12 %s: degenerate threshold", app.Name())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	err = forEachIndex(len(apps)*runs*2, par, func(j int) error {
+		i, r, easing := j/(runs*2), (j%(runs*2))/2, j%2 == 1
+		app, st := apps[i], &states[i]
+		opts := core.Options{
+			App: app, Requests: st.n, Sampling: schedSampling(app),
+			UsageThreshold: st.threshold, MeterCoExecution: true,
+			Seed: cfg.Seed + int64(r)*101,
+		}
+		kind := "original"
+		if easing {
+			opts.Policy = core.PolicyContentionEasing
+			kind = "eased"
+		}
+		res, err := core.Run(opts, core.WithObserver(cfg.Obs))
+		if err != nil {
+			return fmt.Errorf("figure12 %s %s: %w", app.Name(), kind, err)
+		}
+		if easing {
+			st.eased[r] = res
+		} else {
+			st.orig[r] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Figure12Result{}
+	for i, app := range apps {
+		st := &states[i]
 		var orig, eased sched.HighUsageCoExecution
 		for r := 0; r < runs; r++ {
-			seed := cfg.Seed + int64(r)*101
-			o, err := core.Run(core.Options{
-				App: app, Requests: n, Sampling: core.DefaultSampling(app),
-				UsageThreshold: threshold, MeterCoExecution: true, Seed: seed,
-			}, core.WithObserver(cfg.Obs))
-			if err != nil {
-				return nil, fmt.Errorf("figure12 %s original: %w", app.Name(), err)
-			}
-			e, err := core.Run(core.Options{
-				App: app, Requests: n, Sampling: core.DefaultSampling(app),
-				Policy: core.PolicyContentionEasing, UsageThreshold: threshold,
-				MeterCoExecution: true, Seed: seed,
-			}, core.WithObserver(cfg.Obs))
-			if err != nil {
-				return nil, fmt.Errorf("figure12 %s eased: %w", app.Name(), err)
-			}
+			o, e := st.orig[r], st.eased[r]
 			orig.AtLeast2 += o.CoExecution.AtLeast2 / runs
 			orig.AtLeast3 += o.CoExecution.AtLeast3 / runs
 			orig.All4 += o.CoExecution.All4 / runs
@@ -73,7 +111,7 @@ func Figure12(cfg Config) (*Figure12Result, error) {
 			eased.All4 += e.CoExecution.All4 / runs
 		}
 		out.Apps = append(out.Apps, Figure12App{
-			App: app.Name(), Threshold: threshold,
+			App: app.Name(), Threshold: st.threshold,
 			Original: orig, Eased: eased, Runs: runs,
 		})
 	}

@@ -37,40 +37,77 @@ type Figure13Result struct {
 
 // Figure13 runs the Figure 12 configurations and summarizes the pooled
 // per-request CPI populations.
+//
+// Like Figure12, the independent simulations fan out concurrently when the
+// config allows it, and the CPI populations are pooled afterward in the
+// fixed serial order, so results match a sequential execution exactly.
 func Figure13(cfg Config) (*Figure13Result, error) {
-	out := &Figure13Result{}
 	apps := []workload.App{workload.NewTPCH(), workload.NewWeBWorK()}
-	for _, app := range apps {
-		n := cfg.schedRequests(app.Name())
-		calib, err := runTracked(cfg, app, 0, n)
-		if err != nil {
-			return nil, fmt.Errorf("figure13 %s calibration: %w", app.Name(), err)
-		}
-		threshold := sched.HighUsageThreshold(calib.Store, 80)
+	const runs = 3
+	par := cfg.parallelizable()
 
-		const runs = 3
+	type appRuns struct {
+		n           int
+		threshold   float64
+		orig, eased [runs]*core.Result
+	}
+	states := make([]appRuns, len(apps))
+
+	err := forEachIndex(len(apps), par, func(i int) error {
+		app, st := apps[i], &states[i]
+		st.n = cfg.schedRequests(app.Name())
+		calib, err := core.Run(core.Options{
+			App: app, Requests: st.n, Seed: cfg.Seed,
+		}, core.WithSampling(schedSampling(app)), core.WithObserver(cfg.Obs))
+		if err != nil {
+			return fmt.Errorf("figure13 %s calibration: %w", app.Name(), err)
+		}
+		st.threshold = sched.HighUsageThreshold(calib.Store, 80)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	err = forEachIndex(len(apps)*runs*2, par, func(j int) error {
+		i, r, easing := j/(runs*2), (j%(runs*2))/2, j%2 == 1
+		app, st := apps[i], &states[i]
+		opts := core.Options{
+			App: app, Requests: st.n, Sampling: schedSampling(app),
+			Seed: cfg.Seed + int64(r)*101,
+		}
+		kind := "original"
+		if easing {
+			opts.Policy = core.PolicyContentionEasing
+			opts.UsageThreshold = st.threshold
+			kind = "eased"
+		}
+		res, err := core.Run(opts, core.WithObserver(cfg.Obs))
+		if err != nil {
+			return fmt.Errorf("figure13 %s %s: %w", app.Name(), kind, err)
+		}
+		if easing {
+			st.eased[r] = res
+		} else {
+			st.orig[r] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Figure13Result{}
+	for i, app := range apps {
+		st := &states[i]
 		var origCPI, easedCPI []float64
 		for r := 0; r < runs; r++ {
-			seed := cfg.Seed + int64(r)*101
-			o, err := core.Run(core.Options{
-				App: app, Requests: n, Sampling: core.DefaultSampling(app), Seed: seed,
-			}, core.WithObserver(cfg.Obs))
-			if err != nil {
-				return nil, fmt.Errorf("figure13 %s original: %w", app.Name(), err)
-			}
-			e, err := core.Run(core.Options{
-				App: app, Requests: n, Sampling: core.DefaultSampling(app),
-				Policy: core.PolicyContentionEasing, UsageThreshold: threshold, Seed: seed,
-			}, core.WithObserver(cfg.Obs))
-			if err != nil {
-				return nil, fmt.Errorf("figure13 %s eased: %w", app.Name(), err)
-			}
-			origCPI = append(origCPI, o.Store.MetricValues(metrics.CPI)...)
-			easedCPI = append(easedCPI, e.Store.MetricValues(metrics.CPI)...)
+			origCPI = append(origCPI, st.orig[r].Store.MetricValues(metrics.CPI)...)
+			easedCPI = append(easedCPI, st.eased[r].Store.MetricValues(metrics.CPI)...)
 		}
 		out.Apps = append(out.Apps, Figure13App{
 			App:       app.Name(),
-			Threshold: threshold,
+			Threshold: st.threshold,
 			Original:  summarizeCPI(origCPI),
 			Eased:     summarizeCPI(easedCPI),
 			Runs:      runs,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/anomaly"
@@ -50,8 +51,16 @@ func Figure8(cfg Config) (*Figure8Result, error) {
 	group := groups["Q20"]
 	name := "Q20"
 	if len(group) < 3 {
-		for g, trs := range groups {
-			if len(trs) > len(group) {
+		// Pick the largest group, walking names in sorted order so ties
+		// break identically on every run (map iteration order must never
+		// reach a result).
+		names := make([]string, 0, len(groups))
+		for g := range groups {
+			names = append(names, g)
+		}
+		sort.Strings(names)
+		for _, g := range names {
+			if trs := groups[g]; len(trs) > len(group) {
 				group, name = trs, g
 			}
 		}

@@ -150,9 +150,8 @@ func (k *Kernel) switchOut(c *coreState) *Thread {
 	if k.hooks.SwitchOut != nil {
 		k.hooks.SwitchOut(c.id, t.Run)
 	}
-	k.eng.Cancel(c.quantumEv)
-	k.eng.Cancel(c.breakEv)
-	c.quantumEv, c.breakEv = nil, nil
+	c.quantum.Stop()
+	c.brk.Stop()
 	c.cur = nil
 	t.State = Runnable
 	return t
@@ -177,8 +176,7 @@ func (k *Kernel) syncProgress(c *coreState) {
 
 // armQuantum schedules the policy's re-scheduling opportunity.
 func (k *Kernel) armQuantum(c *coreState) {
-	k.eng.Cancel(c.quantumEv)
-	c.quantumEv = k.eng.After(k.cfg.Policy.Quantum(k), func() { k.quantumExpiry(c) })
+	c.quantum.Arm(k.cfg.Policy.Quantum(k))
 }
 
 // quantumExpiry is a scheduling opportunity: the policy chooses among the
@@ -194,9 +192,9 @@ func (k *Kernel) quantumExpiry(c *coreState) {
 		return
 	}
 	k.syncProgress(c)
-	cands := make([]*Thread, 0, len(c.runq)+1)
-	cands = append(cands, c.cur)
+	cands := append(c.cands[:0], c.cur)
 	cands = append(cands, c.runq...)
+	c.cands = cands // keep the grown buffer for the next pick
 	idx := k.cfg.Policy.Pick(k, c.id, cands, true)
 	if idx <= 0 || idx > len(c.runq) {
 		// Keep the current request: no context switch, no pollution.
@@ -220,15 +218,15 @@ func (k *Kernel) quantumExpiry(c *coreState) {
 // rescheduleBreak recomputes the core's next execution breakpoint (phase
 // end or next system call) from current machine rates and stalls.
 func (k *Kernel) rescheduleBreak(c *coreState) {
-	k.eng.Cancel(c.breakEv)
-	c.breakEv = nil
 	t := c.cur
 	if t == nil {
+		c.brk.Stop()
 		return
 	}
 	run := t.Run
 	ph := run.CurrentPhase()
 	if ph == nil {
+		c.brk.Stop()
 		return
 	}
 	k.syncProgress(c)
@@ -243,21 +241,20 @@ func (k *Kernel) rescheduleBreak(c *coreState) {
 		// the target is zero-length): handle immediately.
 		d = 0
 	}
-	c.breakEv = k.eng.After(d, func() { k.breakpoint(c) })
+	c.brk.Arm(d)
 }
 
 // onRateChange keeps breakpoints consistent when contention changes a
 // co-runner's execution rate.
 func (k *Kernel) onRateChange(core int) {
 	c := k.cores[core]
-	if c.cur != nil && c.breakEv != nil {
+	if c.cur != nil && c.brk.Pending() {
 		k.rescheduleBreak(c)
 	}
 }
 
 // breakpoint handles the current thread reaching its next behavioral event.
 func (k *Kernel) breakpoint(c *coreState) {
-	c.breakEv = nil
 	t := c.cur
 	if t == nil {
 		return
@@ -338,10 +335,7 @@ func (k *Kernel) handleSyscall(c *coreState, name string, blockProb, blockMeanNs
 func (k *Kernel) blockForIO(c *coreState, d sim.Time) {
 	t := k.switchOut(c)
 	t.State = Blocked
-	k.eng.After(d, func() {
-		t.State = Runnable
-		k.enqueue(t)
-	})
+	t.wake.Arm(d)
 	k.dispatchIfFree(c)
 }
 

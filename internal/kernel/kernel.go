@@ -100,6 +100,10 @@ type Thread struct {
 	// resumePhase, while Blocked waiting for the request to come back to
 	// this tier, is the phase index at which this thread resumes.
 	resumePhase int
+	// wake is the thread's reusable I/O-completion timer. A thread blocks
+	// on at most one I/O wait at a time, so one timer per thread replaces a
+	// fresh event + closure per block.
+	wake *sim.Timer
 }
 
 // Core returns the thread's home core, or -1 if unplaced.
@@ -155,11 +159,18 @@ type Hooks struct {
 }
 
 type coreState struct {
-	id        int
-	runq      []*Thread
-	cur       *Thread
-	quantumEv *sim.Event
-	breakEv   *sim.Event
+	id   int
+	runq []*Thread
+	cur  *Thread
+	// quantum and brk are the core's two local timers — the re-scheduling
+	// opportunity and the next execution breakpoint (phase end or system
+	// call). Both re-arm millions of times per run, so they are reusable
+	// sim.Timers bound once at construction instead of per-arm events.
+	quantum *sim.Timer
+	brk     *sim.Timer
+	// cands is quantumExpiry's candidate-list scratch buffer, reused across
+	// picks so re-scheduling does not allocate.
+	cands []*Thread
 	// syncedAppIns is the machine app-instruction count already folded
 	// into the current run's progress (reset with each SetActivity).
 	syncedAppIns float64
@@ -215,7 +226,10 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 		k.cfg.Policy = RoundRobin{}
 	}
 	for i := 0; i < cfg.Machine.Cores; i++ {
-		k.cores = append(k.cores, &coreState{id: i})
+		c := &coreState{id: i}
+		c.quantum = eng.NewTimer(func() { k.quantumExpiry(c) })
+		c.brk = eng.NewTimer(func() { k.breakpoint(c) })
+		k.cores = append(k.cores, c)
 	}
 	k.mach.OnRateChange(k.onRateChange)
 	return k
@@ -278,6 +292,10 @@ func (k *Kernel) AddWorkers(tier, n int) {
 	}
 	for i := 0; i < n; i++ {
 		t := &Thread{ID: k.nextThreadID, Tier: tier, State: Idle, core: -1}
+		t.wake = k.eng.NewTimer(func() {
+			t.State = Runnable
+			k.enqueue(t)
+		})
 		k.nextThreadID++
 		k.idleWorkers[tier] = append(k.idleWorkers[tier], t)
 	}
@@ -335,6 +353,15 @@ func (k *Kernel) Sample(core int, ctx metrics.SampleContext) metrics.Counters {
 // CPU-local APIC one-shot timer. The returned event can be cancelled.
 func (k *Kernel) SetTimer(core int, d sim.Time, fn func()) *sim.Event {
 	return k.eng.After(d, fn)
+}
+
+// NewTimer returns a reusable CPU-local one-shot timer (see sim.Timer).
+// Long-lived periodic users (the sampling layer's per-core backup
+// interrupts) should prefer this over SetTimer: re-arming allocates
+// nothing, and each arm costs exactly one scheduling sequence number, the
+// same as a SetTimer call.
+func (k *Kernel) NewTimer(core int, fn func()) *sim.Timer {
+	return k.eng.NewTimer(fn)
 }
 
 // CancelTimer cancels a timer event.

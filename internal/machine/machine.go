@@ -39,17 +39,6 @@ type Activity struct {
 	WorkingSetBytes float64
 }
 
-func (a *Activity) demand() *cache.Demand {
-	if a == nil {
-		return nil
-	}
-	return &cache.Demand{
-		RefsPerIns:      a.RefsPerIns,
-		SoloMissRatio:   a.SoloMissRatio,
-		WorkingSetBytes: a.WorkingSetBytes,
-	}
-}
-
 // ObserverConfig sets the cost and counter perturbation of one hardware
 // counter sample, per sampling context, matching the paper's Table 1.
 // The Extra* fields are the additional perturbation seen under full cache
@@ -168,6 +157,13 @@ type Machine struct {
 	// effective rate is CyclesPerNs × freqScale. 1 is nominal frequency;
 	// fault injection scales it down for node-slowdown windows.
 	freqScale float64
+
+	// recomputeRates scratch, reused across calls so the per-activity-change
+	// rate derivation allocates nothing. Used strictly within one
+	// recomputeRates call (before any listener fires), so reuse is safe.
+	missScratch   []float64
+	demandScratch []*cache.Demand
+	demandBuf     []cache.Demand
 }
 
 // New builds a machine on the given engine. It panics on an invalid
@@ -180,6 +176,9 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &core{id: i, pkg: i / cfg.CoresPerPackage})
 	}
+	m.missScratch = make([]float64, cfg.Cores)
+	m.demandScratch = make([]*cache.Demand, cfg.CoresPerPackage)
+	m.demandBuf = make([]cache.Demand, cfg.CoresPerPackage)
 	return m
 }
 
@@ -241,20 +240,25 @@ func (m *Machine) advanceAll() {
 // It must be called with all cores advanced to the present.
 func (m *Machine) recomputeRates() (changed []int) {
 	// Effective miss ratios per package.
-	miss := make([]float64, len(m.cores))
+	miss := m.missScratch
 	packages := m.cfg.Cores / m.cfg.CoresPerPackage
 	for p := 0; p < packages; p++ {
-		demands := make([]*cache.Demand, m.cfg.CoresPerPackage)
-		ids := make([]int, m.cfg.CoresPerPackage)
+		base := p * m.cfg.CoresPerPackage
+		demands := m.demandScratch
 		for j := 0; j < m.cfg.CoresPerPackage; j++ {
-			id := p*m.cfg.CoresPerPackage + j
-			ids[j] = id
-			demands[j] = m.cores[id].activity.demand()
+			a := m.cores[base+j].activity
+			if a == nil {
+				demands[j] = nil
+				continue
+			}
+			m.demandBuf[j] = cache.Demand{
+				RefsPerIns:      a.RefsPerIns,
+				SoloMissRatio:   a.SoloMissRatio,
+				WorkingSetBytes: a.WorkingSetBytes,
+			}
+			demands[j] = &m.demandBuf[j]
 		}
-		ratios := cache.MissRatios(m.cfg.Cache, demands)
-		for j, id := range ids {
-			miss[id] = ratios[j]
-		}
+		cache.MissRatiosInto(m.cfg.Cache, demands, miss[base:base+m.cfg.CoresPerPackage])
 	}
 	// Machine-wide bandwidth pressure.
 	var traffic float64

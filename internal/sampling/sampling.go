@@ -76,6 +76,13 @@ type Config struct {
 	// name alone — the Section 3.2 improvement for calls that occur in many
 	// semantic contexts.
 	Bigrams bool
+	// DiscardSyscallEvents skips recording the per-request system call
+	// event stream. Sampling, triggering, and period attribution are
+	// unaffected — only trace.Request.Syscalls stays empty — so analyses
+	// that never read the syscall stream (e.g. the scheduling experiments,
+	// which consume periods and co-execution meters only) avoid the
+	// dominant trace-memory cost of long runs.
+	DiscardSyscallEvents bool
 }
 
 // Counts tallies samples by context for overhead accounting.
@@ -110,7 +117,9 @@ type coreTrack struct {
 	last     metrics.Counters
 	lastTime sim.Time
 	lastCtx  metrics.SampleContext
-	timer    *sim.Event
+	// timer is the core's reusable sampling timer (periodic or backup
+	// interrupt), bound once at tracker construction.
+	timer *sim.Timer
 	// pendingSignal holds a just-sampled syscall's key and the CPI of the
 	// period before it, awaiting the after-period for signal training.
 	pendingSignal string
@@ -158,7 +167,10 @@ func NewTracker(k *kernel.Kernel, cfg Config) *Tracker {
 		t.trainer = NewSignalTrainer()
 	}
 	for i := 0; i < k.Machine().NumCores(); i++ {
-		t.cores = append(t.cores, &coreTrack{})
+		core := i
+		ct := &coreTrack{}
+		ct.timer = k.NewTimer(core, func() { t.timerFired(core) })
+		t.cores = append(t.cores, ct)
 	}
 	k.SetHooks(kernel.Hooks{
 		SwitchIn:    t.switchIn,
@@ -301,10 +313,7 @@ func (t *Tracker) switchOut(core int, run *kernel.RequestRun) {
 	}
 	t.sample(core, metrics.CtxKernel)
 	ct.run = nil
-	if ct.timer != nil {
-		t.k.CancelTimer(ct.timer)
-		ct.timer = nil
-	}
+	ct.timer.Stop()
 }
 
 func (t *Tracker) syscall(core int, run *kernel.RequestRun, name string) {
@@ -313,9 +322,11 @@ func (t *Tracker) syscall(core int, run *kernel.RequestRun, name string) {
 		return
 	}
 	now := t.k.Engine().Now()
-	tr := t.traceFor(run)
-	cpu := tr.CPUTime() + (now - ct.lastTime)
-	tr.AddSyscall(name, run.InstructionsDone(), cpu)
+	if !t.cfg.DiscardSyscallEvents {
+		tr := t.traceFor(run)
+		cpu := tr.CPUTime() + (now - ct.lastTime)
+		tr.AddSyscall(name, run.InstructionsDone(), cpu)
+	}
 
 	key := name
 	if t.cfg.Bigrams {
@@ -363,10 +374,6 @@ func (t *Tracker) requestDone(run *kernel.RequestRun) {
 // backup interrupt of syscall-triggered sampling.
 func (t *Tracker) armTimer(core int) {
 	ct := t.cores[core]
-	if ct.timer != nil {
-		t.k.CancelTimer(ct.timer)
-		ct.timer = nil
-	}
 	var d sim.Time
 	switch t.cfg.Mode {
 	case Interrupt:
@@ -374,17 +381,18 @@ func (t *Tracker) armTimer(core int) {
 	case SyscallTriggered, SignalTriggered:
 		d = t.cfg.TbackupInt
 	default:
+		ct.timer.Stop()
 		return
 	}
 	if d <= 0 {
+		ct.timer.Stop()
 		return
 	}
-	ct.timer = t.k.SetTimer(core, d, func() { t.timerFired(core) })
+	ct.timer.Arm(d)
 }
 
 func (t *Tracker) timerFired(core int) {
 	ct := t.cores[core]
-	ct.timer = nil
 	if ct.run != nil {
 		t.sample(core, metrics.CtxInterrupt)
 	}

@@ -14,6 +14,7 @@ type CoExecutionMeter struct {
 	k         *kernel.Kernel
 	threshold float64
 	interval  sim.Time
+	timer     *sim.Timer
 
 	samples int
 	ge2     int
@@ -26,7 +27,8 @@ type CoExecutionMeter struct {
 // before reading results.
 func NewCoExecutionMeter(k *kernel.Kernel, threshold float64, interval sim.Time) *CoExecutionMeter {
 	m := &CoExecutionMeter{k: k, threshold: threshold, interval: interval}
-	k.Engine().After(interval, m.tick)
+	m.timer = k.Engine().NewTimer(m.tick)
+	m.timer.Arm(interval)
 	return m
 }
 
@@ -59,7 +61,7 @@ func (m *CoExecutionMeter) tick() {
 			m.all4++
 		}
 	}
-	m.k.Engine().After(m.interval, m.tick)
+	m.timer.Arm(m.interval)
 }
 
 // Stop halts polling.

@@ -124,6 +124,156 @@ func TestEngineReschedule(t *testing.T) {
 	}
 }
 
+func TestEnginePendingAndDispatched(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func() {})
+	e.At(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	if !ev.Pending() || ev.At() != 10 {
+		t.Fatalf("event not pending at 10: pending=%v at=%v", ev.Pending(), ev.At())
+	}
+	e.Cancel(ev)
+	if ev.Pending() || e.Pending() != 1 {
+		t.Fatal("cancel did not remove the event eagerly")
+	}
+	e.RunAll()
+	if e.Dispatched() != 1 {
+		t.Fatalf("Dispatched = %d, want 1 (cancelled events never count)", e.Dispatched())
+	}
+	var nilEv *Event
+	if nilEv.Pending() {
+		t.Fatal("nil event reports pending")
+	}
+}
+
+// A heavy mixed workload of schedules and mid-queue cancels dispatches in
+// exact (time, seq) order — the heap invariant under push/remove/fix.
+func TestEngineHeapOrderUnderChurn(t *testing.T) {
+	e := NewEngine()
+	g := NewRNG(17)
+	type rec struct {
+		at  Time
+		seq int
+	}
+	var got []rec
+	var events []*Event
+	for i := 0; i < 500; i++ {
+		i := i
+		at := Time(g.Intn(100))
+		events = append(events, e.At(at, func() { got = append(got, rec{e.Now(), i}) }))
+	}
+	// Cancel a third of them from the middle of the heap.
+	cancelled := map[int]bool{}
+	for i := 0; i < 500; i += 3 {
+		e.Cancel(events[i])
+		cancelled[i] = true
+	}
+	e.RunAll()
+	if len(got) != 500-len(cancelled) {
+		t.Fatalf("dispatched %d events, want %d", len(got), 500-len(cancelled))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+			t.Fatalf("dispatch order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestTimerFiresAndRearms(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tm := e.NewTimer(func() { fired = append(fired, e.Now()) })
+	if tm.Pending() {
+		t.Fatal("new timer reports pending")
+	}
+	tm.Arm(10)
+	if !tm.Pending() || tm.At() != 10 {
+		t.Fatalf("armed timer: pending=%v at=%v", tm.Pending(), tm.At())
+	}
+	e.RunAll()
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10]", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	// Re-arming after firing reuses the same event allocation.
+	tm.Arm(5)
+	e.RunAll()
+	if len(fired) != 2 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [10 15]", fired)
+	}
+}
+
+// Re-arming a pending timer replaces the earlier arming: moving it both
+// earlier and later must reposition it inside the heap.
+func TestTimerRearmRepositions(t *testing.T) {
+	for _, d := range []Time{3, 40} {
+		e := NewEngine()
+		var fired []Time
+		tm := e.NewTimer(func() { fired = append(fired, e.Now()) })
+		// Surrounding events give the heap structure to reposition within.
+		for i := Time(1); i <= 50; i += 7 {
+			e.At(i, func() {})
+		}
+		tm.Arm(20)
+		tm.Arm(d)
+		e.RunAll()
+		if len(fired) != 1 || fired[0] != d {
+			t.Fatalf("re-armed to %d fired at %v", d, fired)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	tm := e.NewTimer(func() { t.Fatal("stopped timer fired") })
+	tm.Stop() // stop while unarmed is a no-op
+	tm.Arm(10)
+	tm.Stop()
+	if tm.Pending() {
+		t.Fatal("stopped timer still pending")
+	}
+	tm.Stop() // double stop is safe
+	e.RunAll()
+}
+
+func TestTimerArmInPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	tm := e.NewTimer(func() { at = e.Now() })
+	e.At(100, func() { tm.ArmAt(50) })
+	e.RunAll()
+	if at != 100 {
+		t.Fatalf("past arming fired at %d, want 100", at)
+	}
+}
+
+// Each Arm consumes exactly one scheduling sequence number, the same as the
+// After call it replaces — the invariant that made the kernel's Timer
+// conversion fingerprint-preserving. Same-time Timer and After events must
+// interleave purely by arming order.
+func TestTimerSeqParityWithAfter(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	tm1 := e.NewTimer(func() { got = append(got, 1) })
+	tm2 := e.NewTimer(func() { got = append(got, 3) })
+	tm1.Arm(10)
+	e.After(10, func() { got = append(got, 2) })
+	tm2.Arm(10)
+	e.After(10, func() { got = append(got, 4) })
+	e.RunAll()
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-time dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {

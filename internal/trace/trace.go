@@ -45,6 +45,14 @@ type Request struct {
 	Periods []Period
 	// Syscalls is the request's system call stream.
 	Syscalls []SyscallEvent
+
+	// cpuSummed/cpuPeriods cache the running duration sum over
+	// Periods[:cpuPeriods], making CPUTime O(1) amortized. The sampling
+	// layer calls CPUTime at every system call entrance; without the cache
+	// that scan is quadratic in trace length. Periods only ever grows (see
+	// AddPeriod), so summing the tail on demand is always correct.
+	cpuSummed  sim.Time
+	cpuPeriods int
 }
 
 // AddPeriod appends a measured period, dropping empty ones.
@@ -71,11 +79,11 @@ func (r *Request) Totals() metrics.Counters {
 
 // CPUTime returns the request's total CPU execution time.
 func (r *Request) CPUTime() sim.Time {
-	var t sim.Time
-	for _, p := range r.Periods {
-		t += p.Dur
+	for _, p := range r.Periods[r.cpuPeriods:] {
+		r.cpuSummed += p.Dur
 	}
-	return t
+	r.cpuPeriods = len(r.Periods)
+	return r.cpuSummed
 }
 
 // Instructions returns the request's total retired instructions.

@@ -124,30 +124,43 @@ func (r *Report) String() string {
 // golden entry) until the corpus is regenerated.
 func DefaultGrid() []Cell {
 	const smoke = 0.05
-	// The contention-easing scheduling experiments (Figures 12–13) hold
-	// closed-loop request-count floors that make them ~20× the cost of the
-	// rest; they verify at the base point only.
-	expensive := map[string]bool{"fig12": true, "fig13": true}
 	// procsSubset exercises the stacks with real internal parallelism: the
 	// distance engine (fig7), the signature service (fig10), the kernel
-	// exec loop (fig1), and the distributed driver (faultanomaly).
-	procsSubset := map[string]bool{"fig1": true, "fig7": true, "fig10": true, "faultanomaly": true}
+	// exec loop (fig1), the distributed driver (faultanomaly), and the
+	// contention-easing run fan-out (fig12) — the GOMAXPROCS=1 variant
+	// asserts its concurrent simulations aggregate identically to a serial
+	// execution.
+	procsSubset := map[string]bool{
+		"fig1": true, "fig7": true, "fig10": true, "fig12": true, "faultanomaly": true,
+	}
 
 	var grid []Cell
 	for _, name := range experiments.Names() {
-		grid = append(grid, Cell{Experiment: name, Seed: 1, Scale: smoke})
-		if !expensive[name] {
-			grid = append(grid,
-				Cell{Experiment: name, Seed: 2, Scale: smoke},
-				Cell{Experiment: name, Seed: 1, Scale: 0.1},
-			)
-		}
+		grid = append(grid,
+			Cell{Experiment: name, Seed: 1, Scale: smoke},
+			Cell{Experiment: name, Seed: 2, Scale: smoke},
+			Cell{Experiment: name, Seed: 1, Scale: 0.1},
+		)
 		if procsSubset[name] {
 			grid = append(grid,
 				Cell{Experiment: name, Seed: 1, Scale: smoke, Procs: 1},
 				Cell{Experiment: name, Seed: 1, Scale: smoke, Procs: 4},
 			)
 		}
+	}
+	return grid
+}
+
+// FullGrid is the full-evaluation tier: every registry experiment at seed 1
+// and scale 1 — the configuration whose numbers the README quotes. One cell
+// per experiment keeps the tier's cost a handful of minutes; the seed and
+// scale spreads live in DefaultGrid. Its corpus is committed separately
+// (testdata/golden-full) so the smoke and full tiers can be regenerated
+// independently.
+func FullGrid() []Cell {
+	var grid []Cell
+	for _, name := range experiments.Names() {
+		grid = append(grid, Cell{Experiment: name, Seed: 1, Scale: 1})
 	}
 	return grid
 }

@@ -182,9 +182,34 @@ func TestDefaultGridCoversRegistryAndProcs(t *testing.T) {
 	if len(base) != 17 {
 		t.Fatalf("base grid covers %d experiments, want all 17", len(base))
 	}
-	for _, name := range []string{"fig1", "fig7", "fig10", "faultanomaly"} {
+	for _, name := range []string{"fig1", "fig7", "fig10", "fig12", "faultanomaly"} {
 		if !procs[name][1] || !procs[name][4] {
 			t.Errorf("%s missing GOMAXPROCS={1,4} variants", name)
+		}
+	}
+	// Every experiment — including the scheduling figures, which used to be
+	// gated as too expensive — now carries the seed and scale spread.
+	spread := map[string]int{}
+	for _, c := range grid {
+		if c.Procs == 0 {
+			spread[c.Experiment]++
+		}
+	}
+	for name, n := range spread {
+		if n != 3 {
+			t.Errorf("%s has %d seed/scale cells, want 3", name, n)
+		}
+	}
+}
+
+func TestFullGridIsOneFullScaleCellPerExperiment(t *testing.T) {
+	grid := FullGrid()
+	if len(grid) != 17 {
+		t.Fatalf("full grid has %d cells, want one per experiment (17)", len(grid))
+	}
+	for _, c := range grid {
+		if c.Seed != 1 || c.Scale != 1 || c.Procs != 0 {
+			t.Fatalf("full grid cell %+v is not seed 1, scale 1, ambient procs", c)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -274,6 +275,63 @@ func TestWeBWorKSameProblemSimilar(t *testing.T) {
 		}
 		if same {
 			t.Fatal("different problems produced identical structure")
+		}
+	}
+}
+
+// NewWeBWorKProblems restricts the library so a modest run yields several
+// requests per problem (the Figure 9 anomaly-reference setup).
+func TestWeBWorKProblemsRestriction(t *testing.T) {
+	ids := []int{954, 117, 1501}
+	w := NewWeBWorKProblems(ids...)
+	allowed := map[int]bool{}
+	for _, id := range ids {
+		allowed[id] = true
+	}
+	reqs := gen(t, w, 40, 12)
+	drawn := map[int]int{}
+	for _, r := range reqs {
+		if !allowed[r.TypeIndex] {
+			t.Fatalf("request drew problem %d outside the restriction %v", r.TypeIndex, ids)
+		}
+		if want := fmt.Sprintf("problem-%d", r.TypeIndex); r.Type != want {
+			t.Fatalf("request type %q does not name its problem (%s)", r.Type, want)
+		}
+		drawn[r.TypeIndex]++
+	}
+	// 40 draws over 3 problems: every problem appears, giving the several
+	// same-problem requests Figure 9 needs.
+	for _, id := range ids {
+		if drawn[id] < 3 {
+			t.Errorf("problem %d drawn only %d times in 40 requests", id, drawn[id])
+		}
+	}
+
+	// The restricted workload shares structure with the full library: the
+	// same problem id produces the same phase sequence either way.
+	full := NewWeBWorK()
+	a := w.RequestForProblem(1, 954, sim.NewRNG(3))
+	b := full.RequestForProblem(1, 954, sim.NewRNG(3))
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("restricted and full workloads disagree on problem 954 structure: %d vs %d phases",
+			len(a.Phases), len(b.Phases))
+	}
+	for i := range a.Phases {
+		if a.Phases[i].Name != b.Phases[i].Name {
+			t.Fatalf("phase %d differs between restricted and full workloads", i)
+		}
+	}
+}
+
+// The constructor copies its argument: mutating the caller's slice must not
+// change which problems the workload draws.
+func TestWeBWorKProblemsCopiesIDs(t *testing.T) {
+	ids := []int{954, 117}
+	w := NewWeBWorKProblems(ids...)
+	ids[0] = 9999
+	for _, r := range gen(t, w, 20, 13) {
+		if r.TypeIndex == 9999 {
+			t.Fatal("workload aliased the caller's id slice")
 		}
 	}
 }
