@@ -8,12 +8,19 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-dist test-procs bench bench-json bench-smoke faults verify verify-full golden golden-full cover fuzz
+.PHONY: check vet maporder build test test-dist test-procs bench bench-json bench-smoke faults verify verify-full golden golden-full cover fuzz
 
-check: vet build test test-dist bench
+check: vet maporder build test test-dist bench
 
 vet:
 	$(GO) vet ./...
+
+# maporder is the deterministic-output audit: no `for … range m` over a
+# locally declared map without a `// maporder:ok <why>` annotation — map
+# iteration order reaching a result struct or rendered table is exactly the
+# class of bug the golden-fingerprint corpus turns into flaky failures.
+maporder:
+	$(GO) run ./cmd/maporder internal cmd examples
 
 build:
 	$(GO) build ./... ./examples/...
@@ -58,7 +65,7 @@ golden:
 # verify-full checks the full-evaluation tier: every experiment at seed 1,
 # scale 1 — the configuration the README quotes — against its own corpus
 # (testdata/golden-full). A whole-tier run takes well under a minute since
-# the kernel event-loop rewrite; CI runs it as a non-blocking job.
+# the kernel event-loop rewrite; CI runs it as a blocking job.
 verify-full:
 	$(GO) run ./cmd/rbvrepro -verify -grid full
 
@@ -85,10 +92,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDTW$$' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz '^FuzzSignatureMatch$$' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz '^FuzzFingerprintStability$$' -fuzztime $(FUZZTIME) ./internal/verify/
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamSpec$$' -fuzztime $(FUZZTIME) ./internal/verify/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/distance/... ./internal/cluster/...
-	$(GO) test -run '^$$' -bench 'BenchmarkPairwiseMatrix|BenchmarkIdentify|BenchmarkObsOverhead' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPairwiseMatrix|BenchmarkIdentify|BenchmarkObsOverhead|BenchmarkServeSteadyState' -benchtime=1x -benchmem .
 
 # bench-json runs the full root benchmark sweep once (BenchmarkObsOverhead
 # included via `-bench .`) and records it as a machine-readable perf

@@ -32,6 +32,12 @@
 // factor (allocation counts are deterministic, but GC internals can shift
 // across Go versions, so the factor stays generous). Baselines under
 // -bytes-floor B/op or -allocs-floor allocs/op are skipped as noise.
+//
+// Custom benchmark metrics whose unit ends in "-ns" (the latency quantiles
+// BenchmarkServeSteadyState reports via b.ReportMetric: p50-ns, p99-ns,
+// p999-ns) are regressed too, under -metric-tolerance with baselines below
+// -metric-floor skipped — single-shot tail quantiles are the noisiest
+// dimension, so the default factor is the most generous.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -90,6 +97,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	memTolerance := fs.Float64("mem-tolerance", 3, "fail when a benchmark exceeds baseline B/op or allocs/op times this factor")
 	bytesFloor := fs.Float64("bytes-floor", 1e6, "skip B/op comparison for baselines below this many bytes (noise)")
 	allocsFloor := fs.Float64("allocs-floor", 10e3, "skip allocs/op comparison for baselines below this many allocations (noise)")
+	metricTolerance := fs.Float64("metric-tolerance", 5, "fail when a custom *-ns metric exceeds baseline times this factor")
+	metricFloor := fs.Float64("metric-floor", 1e3, "skip *-ns metric comparison for baselines below this many ns (noise)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -146,6 +155,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		tol := tolerances{
 			Ns: *tolerance, NsFloor: *floor,
 			Mem: *memTolerance, BytesFloor: *bytesFloor, AllocsFloor: *allocsFloor,
+			Metric: *metricTolerance, MetricFloor: *metricFloor,
 		}
 		if err := compareBaseline(rep, *against, tol, stderr); err != nil {
 			fmt.Fprintf(stderr, "benchjson: %v\n", err)
@@ -157,8 +167,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 // tolerances bundles the -against comparison factors and noise floors.
 type tolerances struct {
-	Ns, NsFloor              float64
+	Ns, NsFloor                  float64
 	Mem, BytesFloor, AllocsFloor float64
+	Metric, MetricFloor          float64
 }
 
 // compareBaseline diffs the fresh results against a recorded snapshot and
@@ -209,6 +220,14 @@ func compareBaseline(rep Report, path string, tol tolerances, stderr io.Writer) 
 		// Memory dimensions only exist when both sides ran -benchmem.
 		check(b.Name, "B/op", b.Metrics["B/op"], want.Metrics["B/op"], tol.Mem, tol.BytesFloor)
 		check(b.Name, "allocs/op", b.Metrics["allocs/op"], want.Metrics["allocs/op"], tol.Mem, tol.AllocsFloor)
+		// Custom latency metrics (b.ReportMetric with a *-ns unit) are
+		// regressed against the same baseline entry. Keys come from the
+		// baseline in sorted order so the report is stable.
+		for _, unit := range sortedKeys(want.Metrics) {
+			if strings.HasSuffix(unit, "-ns") {
+				check(b.Name, unit, b.Metrics[unit], want.Metrics[unit], tol.Metric, tol.MetricFloor)
+			}
+		}
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
@@ -221,6 +240,17 @@ func compareBaseline(rep Report, path string, tol tolerances, stderr io.Writer) 
 		return fmt.Errorf("%d benchmark dimensions regressed beyond tolerance", regressions)
 	}
 	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order (rendered tables and
+// comparison reports must never depend on map iteration order).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // stdinOrEmpty returns stdin, or an empty reader when stdin is an

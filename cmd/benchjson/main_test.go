@@ -230,6 +230,44 @@ func TestAgainstSkipsSubFloorMemBaselines(t *testing.T) {
 	}
 }
 
+// Custom *-ns metrics (the serve benchmark's latency quantiles) regress
+// under their own tolerance and floor; other custom units are ignored.
+func TestAgainstRegressesCustomNsMetrics(t *testing.T) {
+	const freshBench = `BenchmarkServeSteadyState/serial-8  1  700000000 ns/op  9000 p99-ns  40000 p999-ns  1.5 Mreq/s  0 B/op  0 allocs/op
+`
+	base := writeBenchBaseline(t, []Benchmark{{
+		Name: "BenchmarkServeSteadyState/serial", Iterations: 1, NsPerOp: 690000000,
+		Metrics: map[string]float64{"p99-ns": 1500, "p999-ns": 39000, "Mreq/s": 1.4, "B/op": 0, "allocs/op": 0},
+	}})
+	// p99 blew up 6x against a 1.5µs baseline: over the 5x default factor.
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-against", base}, strings.NewReader(freshBench), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a 6x p99-ns regression: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "p99-ns") {
+		t.Fatalf("p99 regression not named: %s", errBuf.String())
+	}
+
+	// The same run passes with a looser factor; Mreq/s (not a -ns metric)
+	// never participates even though it moved.
+	out.Reset()
+	errBuf.Reset()
+	code = run([]string{"-against", base, "-metric-tolerance", "10"}, strings.NewReader(freshBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+
+	// Sub-floor latency baselines are noise: a 1.5µs p99 with a raised
+	// floor skips rather than fails.
+	out.Reset()
+	errBuf.Reset()
+	code = run([]string{"-against", base, "-metric-floor", "10e3"}, strings.NewReader(freshBench), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+}
+
 func TestAgainstMissingBaselineFileExitsOne(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	code := run([]string{"-against", filepath.Join(t.TempDir(), "nope.json")}, strings.NewReader(sampleBench), &out, &errBuf)

@@ -1,0 +1,216 @@
+// Command maporder is the deterministic-output audit `make check` runs:
+// it flags `for … range m` statements where m is a map declared in the
+// same file. Map iteration order is randomized per run, so any such loop
+// that feeds a result struct, a rendered table, or an accumulating slice
+// is a nondeterminism bug — the repo's outputs are golden-fingerprinted,
+// and a map-order dependency surfaces as a flaky verify failure long after
+// the PR that introduced it.
+//
+// Usage:
+//
+//	go run ./cmd/maporder DIR...
+//
+// Each DIR is walked recursively for .go files (testdata and _test.go
+// files are skipped: test assertion loops don't feed fingerprinted
+// output, and flagging them would bury the real signal in annotations).
+// A site where iteration order provably cannot reach an output — per-key
+// accumulation, draining a set into a sorted slice — is annotated with a
+// trailing `// maporder:ok <why>` comment, which suppresses the finding
+// and documents the reasoning at the loop.
+//
+// The check is a syntactic heuristic, not a type-checked analysis: it sees
+// maps declared in the same function (var declarations, := / = assignments
+// of map literals or make calls) plus package-level map vars; maps arriving
+// through function returns, parameters, or struct fields are out of scope.
+// That catches the real failure class — locally built tally/index maps
+// ranged while rendering — with zero dependencies and no build overhead;
+// cross-package map returns are covered by the golden verification sweep
+// instead.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: maporder DIR...")
+		return 2
+	}
+	var files []string
+	for _, dir := range args {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && path != dir {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "maporder: %v\n", err)
+			return 2
+		}
+	}
+
+	findings := 0
+	for _, path := range files {
+		n, err := checkFile(path, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "maporder: %v\n", err)
+			return 2
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(stdout, "maporder: %d unannotated map-range site(s) — iterate a sorted key slice, or annotate with `// maporder:ok <why>`\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// checkFile reports unannotated map ranges in one file.
+func checkFile(path string, out io.Writer) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+
+	// Annotated lines: a `// maporder:ok` comment suppresses the finding on
+	// its own line (trailing comment) or the line above.
+	okLines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "maporder:ok") {
+				line := fset.Position(c.Pos()).Line
+				okLines[line] = true
+				okLines[line+1] = true
+			}
+		}
+	}
+
+	// Package-level map vars are visible in every function.
+	pkgMaps := map[string]bool{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			recordSpec(vs, pkgMaps)
+		}
+	}
+
+	// Identifier scoping is per function: the same name may be a map in one
+	// function and a slice in another, so a file-wide identifier set would
+	// produce false positives either way.
+	findings := 0
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		mapIdents := map[string]bool{}
+		for k := range pkgMaps { // maporder:ok set copy, no ordering
+			mapIdents[k] = true
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							if isMapExpr(n.Rhs[i]) {
+								mapIdents[id.Name] = true
+							} else if _, shadows := mapIdents[id.Name]; shadows && n.Tok == token.DEFINE {
+								// A := rebinding to a non-map expression
+								// shadows any earlier map of that name.
+								delete(mapIdents, id.Name)
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				recordSpec(n, mapIdents)
+			}
+			return true
+		})
+		if len(mapIdents) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			id, ok := rs.X.(*ast.Ident)
+			if !ok || !mapIdents[id.Name] {
+				return true
+			}
+			pos := fset.Position(rs.Pos())
+			if okLines[pos.Line] {
+				return true
+			}
+			fmt.Fprintf(out, "%s:%d: range over map %q (iteration order is randomized)\n", path, pos.Line, id.Name)
+			findings++
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// recordSpec adds a ValueSpec's map-typed or map-valued names to the set.
+func recordSpec(vs *ast.ValueSpec, set map[string]bool) {
+	if _, ok := vs.Type.(*ast.MapType); ok {
+		for _, name := range vs.Names {
+			if name.Name != "_" {
+				set[name.Name] = true
+			}
+		}
+	}
+	for i, name := range vs.Names {
+		if i < len(vs.Values) && name.Name != "_" && isMapExpr(vs.Values[i]) {
+			set[name.Name] = true
+		}
+	}
+}
+
+// isMapExpr reports whether an expression evidently produces a map: a map
+// literal, make(map[...]), or a conversion to a map type.
+func isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}

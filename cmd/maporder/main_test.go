@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a map of relative path → source under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func check(t *testing.T, files map[string]string) (code int, out string) {
+	t.Helper()
+	dir := writeTree(t, files)
+	var stdout, stderr bytes.Buffer
+	code = run([]string{dir}, &stdout, &stderr)
+	if stderr.Len() > 0 {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+	return code, stdout.String()
+}
+
+func TestFlagsLocalMapRange(t *testing.T) {
+	code, out := check(t, map[string]string{"a.go": `package p
+func render() {
+	m := map[string]int{"a": 1}
+	for k := range m {
+		_ = k
+	}
+}
+`})
+	if code != 1 || !strings.Contains(out, `range over map "m"`) {
+		t.Fatalf("exit %d, out %q", code, out)
+	}
+}
+
+func TestAnnotationSuppresses(t *testing.T) {
+	code, out := check(t, map[string]string{"a.go": `package p
+func tally() {
+	m := make(map[string]int)
+	total := 0
+	for _, v := range m { // maporder:ok order-free sum
+		total += v
+	}
+	_ = total
+}
+`})
+	if code != 0 {
+		t.Fatalf("annotated site flagged: %s", out)
+	}
+}
+
+// The same name may be a map in one function and a slice in another; only
+// the map function's range is a finding (the file-scoped version of this
+// check flagged slice ranges in sibling functions).
+func TestScopingIsPerFunction(t *testing.T) {
+	code, out := check(t, map[string]string{"a.go": `package p
+func usesMap() map[string]int {
+	out := map[string]int{}
+	return out
+}
+func usesSlice() []int {
+	out := []int{1, 2}
+	for i := range out {
+		out[i]++
+	}
+	return out
+}
+`})
+	if code != 0 {
+		t.Fatalf("slice range flagged as map: %s", out)
+	}
+}
+
+func TestPackageLevelMapVar(t *testing.T) {
+	code, out := check(t, map[string]string{"a.go": `package p
+var registry = map[string]int{}
+func dump() {
+	for k := range registry {
+		_ = k
+	}
+}
+`})
+	if code != 1 || !strings.Contains(out, `"registry"`) {
+		t.Fatalf("exit %d, out %q", code, out)
+	}
+}
+
+func TestSkipsTestFilesAndTestdata(t *testing.T) {
+	bad := `package p
+func f() {
+	m := map[int]int{}
+	for k := range m {
+		_ = k
+	}
+}
+`
+	code, out := check(t, map[string]string{
+		"a_test.go":     bad,
+		"testdata/b.go": bad,
+	})
+	if code != 0 {
+		t.Fatalf("test/testdata files flagged: %s", out)
+	}
+}
+
+func TestNoArgsExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -16,7 +16,7 @@ func TestSelectExperimentsDefaultIsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 17 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "faultanomaly" {
+	if len(sel) != 18 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "serve" {
 		t.Fatalf("default selection wrong: %d experiments", len(sel))
 	}
 }

@@ -40,8 +40,9 @@ func main() {
 		lat = append(lat, float64(tr.Latency()))
 		net = append(net, float64(tr.NetworkTime()))
 		cpu = append(cpu, float64(tr.CPUTime()))
-		for node, c := range tr.PerNodeCPU() {
-			nodeCPU[node] += float64(c)
+		perNode := tr.PerNodeCPU()
+		for _, n := range cluster.Nodes() { // ordered: never range the map
+			nodeCPU[n.Name] += float64(perNode[n.Name])
 		}
 	}
 	fmt.Printf("RUBiS across 3 machines, %d requests:\n", len(traces))

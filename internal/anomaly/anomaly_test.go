@@ -2,6 +2,7 @@ package anomaly
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/distance"
@@ -156,5 +157,34 @@ func TestPearson(t *testing.T) {
 	}
 	if got := pearson([]float64{1}, []float64{1}); got != 0 {
 		t.Fatalf("single point correlation = %v", got)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	if v := Calibrate(nil, 0.99, 1.5); !math.IsInf(v, 1) {
+		t.Fatalf("empty window: got %v, want +Inf", v)
+	}
+	// 1..100: the 0.99 quantile at nearest rank int(0.99*99)=98 is 99.
+	scores := make([]float64, 100)
+	for i := range scores {
+		scores[i] = float64(100 - i)
+	}
+	if v := Calibrate(scores, 0.99, 1.5); v != 99*1.5 {
+		t.Fatalf("quantile: got %v, want %v", v, 99*1.5)
+	}
+	if !sort.Float64sAreSorted(scores) {
+		t.Fatal("Calibrate must sort in place")
+	}
+	if v := Calibrate([]float64{7, 3}, 0, 2); v != 6 {
+		t.Fatalf("q=0: got %v, want 6", v)
+	}
+	if v := Calibrate([]float64{7, 3}, 2, 1); v != 7 {
+		t.Fatalf("q clamped to 1: got %v, want 7", v)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		Calibrate(scores, 0.99, 1.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("Calibrate allocates %v per run, want 0", allocs)
 	}
 }

@@ -1,0 +1,33 @@
+// Streaming threshold calibration: the online pipeline flags a request
+// anomalous when its identification score (best-match distance normalized
+// by prefix length) exceeds a threshold learned from recent traffic. The
+// threshold is a high quantile of the window's scores times a headroom
+// factor — quantile rather than mean+k·sigma because injected or real
+// anomalies in the window are exactly the heavy tail a mean would chase.
+package anomaly
+
+import (
+	"math"
+	"sort"
+)
+
+// Calibrate returns the anomaly threshold for a window of recent scores:
+// the q-quantile (nearest-rank on the sorted window) scaled by headroom.
+// scores is sorted in place — pass a scratch copy if the caller needs the
+// original order — and nothing is allocated (sort.Float64s runs in place).
+// An empty window returns +Inf (detection stays off until calibrated);
+// NaN scores sort before every real value (sort.Float64s's contract), so
+// they can never inflate a high quantile.
+func Calibrate(scores []float64, q, headroom float64) float64 {
+	if len(scores) == 0 {
+		return math.Inf(1)
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	sort.Float64s(scores)
+	rank := int(q * float64(len(scores)-1))
+	return scores[rank] * headroom
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// Workers bounds the parallel distance precompute in KMedoids
 	// (default runtime.GOMAXPROCS); KMedoidsMatrix ignores it.
 	Workers int
+	// Rand, when non-nil, supplies the seeded stream for the initial
+	// medoid selection instead of a fresh NewRNG(Seed). The caller must
+	// Reseed it to the intended seed first; a reseeded stream reproduces
+	// NewRNG bit for bit, so results are unchanged — the knob only lets
+	// repeated clustering (the serving pipeline's periodic compaction)
+	// reuse one stream without allocating.
+	Rand *sim.RNG
 }
 
 // KMedoids clusters n items under dist. All n·(n−1)/2 pairwise distances
@@ -76,6 +83,29 @@ func KMedoids(n int, dist DistFunc, cfg Config) *Result {
 // distance matrix. The result is deterministic for a given matrix and
 // seed.
 func KMedoidsMatrix(dm Distances, cfg Config) *Result {
+	var sc Scratch
+	return sc.KMedoids(dm, cfg)
+}
+
+// Scratch holds the working storage for repeated k-medoids runs. A zero
+// Scratch is ready to use; reusing one across runs over same-or-smaller
+// populations reaches an allocation-free steady state (the serving
+// pipeline reclusters its signature window every compaction interval).
+// The returned Result aliases scratch storage and is valid until the next
+// KMedoids call on the same scratch.
+type Scratch struct {
+	res     Result
+	members []int // items grouped by cluster, ascending within each
+	offs    []int // cluster c's group is members[offs[c]:offs[c+1]]
+	cursor  []int // per-cluster write positions while grouping
+}
+
+// KMedoids is KMedoidsMatrix running in pooled storage. Results are bit
+// identical to KMedoidsMatrix for the same matrix and config: the
+// iteration visits candidates in the same order (the member grouping is a
+// counting sort, which preserves ascending item order — exactly the order
+// Result.Members yields).
+func (sc *Scratch) KMedoids(dm Distances, cfg Config) *Result {
 	if cfg.K <= 0 {
 		panic("cluster: K must be positive")
 	}
@@ -90,8 +120,11 @@ func KMedoidsMatrix(dm Distances, cfg Config) *Result {
 
 	// Initialization: greedy k-means++-style spread using a seeded stream —
 	// the first medoid is random; each next maximizes distance to chosen.
-	g := sim.NewRNG(cfg.Seed)
-	medoids := make([]int, 0, k)
+	g := cfg.Rand
+	if g == nil {
+		g = sim.NewRNG(cfg.Seed)
+	}
+	medoids := growInts(sc.res.Medoids, k)[:0]
 	if n > 0 {
 		medoids = append(medoids, g.Intn(n))
 	}
@@ -117,8 +150,15 @@ func KMedoidsMatrix(dm Distances, cfg Config) *Result {
 		medoids = append(medoids, best)
 	}
 
-	assign := make([]int, n)
-	res := &Result{Medoids: medoids, Assign: assign}
+	assign := growInts(sc.res.Assign, n)
+	for i := range assign {
+		assign[i] = 0
+	}
+	sc.members = growInts(sc.members, n)
+	sc.offs = growInts(sc.offs, k+1)
+	sc.cursor = growInts(sc.cursor, k)
+	res := &sc.res
+	res.Medoids, res.Assign, res.Iterations = medoids, assign, 0
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		res.Iterations = iter + 1
 		// Assignment step.
@@ -138,6 +178,24 @@ func KMedoidsMatrix(dm Distances, cfg Config) *Result {
 		if iter > 0 && !changed {
 			break
 		}
+		// Group items by cluster once per iteration (counting sort keeps
+		// each group in ascending item order, matching Result.Members).
+		// Assignments are fixed for the whole update step, so one grouping
+		// serves every cluster.
+		for c := 0; c <= k; c++ {
+			sc.offs[c] = 0
+		}
+		for _, a := range assign {
+			sc.offs[a+1]++
+		}
+		for c := 1; c <= k; c++ {
+			sc.offs[c] += sc.offs[c-1]
+		}
+		copy(sc.cursor, sc.offs[:k])
+		for i, a := range assign {
+			sc.members[sc.cursor[a]] = i
+			sc.cursor[a]++
+		}
 		// Update step: each cluster's medoid becomes the member minimizing
 		// the sum of distances to all other members. An emptied cluster is
 		// re-seeded from the item farthest from its assigned medoid, so no
@@ -145,7 +203,7 @@ func KMedoidsMatrix(dm Distances, cfg Config) *Result {
 		// otherwise duplicate under distance ties).
 		moved := false
 		for c := range medoids {
-			members := res.Members(c)
+			members := sc.members[sc.offs[c]:sc.offs[c+1]]
 			if len(members) == 0 {
 				if far := farthestNonMedoid(dm, medoids, assign); far >= 0 && far != medoids[c] {
 					medoids[c] = far
@@ -177,7 +235,17 @@ func KMedoidsMatrix(dm Distances, cfg Config) *Result {
 			break
 		}
 	}
+	res.Medoids = medoids
 	return res
+}
+
+// growInts returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
 }
 
 // farthestNonMedoid returns the item with the greatest distance to its

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/sim"
+)
+
+func randMatrix(r *rand.Rand, n int) *distance.Matrix {
+	pts := make([]float64, n)
+	for i := range pts {
+		pts[i] = r.Float64() * 100
+	}
+	return distance.NewMatrix(n, distance.PairFunc(pointsDist(pts)), distance.MatrixOptions{Workers: 1})
+}
+
+// TestScratchMatchesKMedoidsMatrix: the pooled path must reproduce the
+// one-shot path bit for bit across population sizes, ks, and seeds —
+// including reuse of one scratch across runs of varying size, and a
+// caller-owned reseeded RNG in place of the internal one.
+func TestScratchMatchesKMedoidsMatrix(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var sc Scratch
+	rng := sim.NewRNG(0)
+	for trial := 0; trial < 60; trial++ {
+		n := r.Intn(90)
+		k := 1 + r.Intn(12)
+		seed := r.Int63n(1000)
+		dm := randMatrix(r, n)
+		want := KMedoidsMatrix(dm, Config{K: k, Seed: seed})
+
+		got := sc.KMedoids(dm, Config{K: k, Seed: seed})
+		if !reflect.DeepEqual(got.Medoids, want.Medoids) ||
+			!reflect.DeepEqual(got.Assign, want.Assign) ||
+			got.Iterations != want.Iterations {
+			t.Fatalf("trial %d (n=%d k=%d seed=%d): scratch diverges from one-shot\n got %+v\nwant %+v",
+				trial, n, k, seed, got, want)
+		}
+
+		rng.Reseed(seed)
+		got = sc.KMedoids(dm, Config{K: k, Seed: -1, Rand: rng})
+		if !reflect.DeepEqual(got.Medoids, want.Medoids) ||
+			!reflect.DeepEqual(got.Assign, want.Assign) {
+			t.Fatalf("trial %d: reseeded Rand diverges from NewRNG(seed)", trial)
+		}
+	}
+}
+
+// TestScratchAllocFree: repeated clustering in one scratch with a
+// caller-owned RNG must not allocate once the buffers have grown.
+func TestScratchAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	dm := randMatrix(r, 80)
+	var sc Scratch
+	rng := sim.NewRNG(0)
+	cfg := Config{K: 10, Rand: rng}
+	sc.KMedoids(dm, cfg) // grow buffers
+	seed := int64(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		rng.Reseed(seed)
+		sc.KMedoids(dm, cfg)
+		seed++
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled KMedoids allocates %v per run, want 0", allocs)
+	}
+}

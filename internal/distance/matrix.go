@@ -55,11 +55,30 @@ type MatrixOptions struct {
 // pair. Rows are claimed in blocks by a bounded worker pool; see PairFunc
 // for the concurrency contract.
 func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
-	m := &Matrix{n: n}
+	m := &Matrix{}
+	m.Fill(n, pair, opt)
+	return m
+}
+
+// Fill recomputes the matrix in place for an n-item population under pair,
+// reusing the triangular storage when it is large enough — repeated fills
+// over same-or-smaller populations allocate nothing, which is what lets
+// the streaming pipeline recompact its signature window every interval
+// without garbage. The immutability contract applies between fills: the
+// caller must guarantee no concurrent readers while Fill runs. Every cell
+// is written (cells are never carried over from a previous fill), so the
+// result is identical to a fresh NewMatrix.
+func (m *Matrix) Fill(n int, pair PairFunc, opt MatrixOptions) {
+	m.n = n
+	m.vals = m.vals[:0]
 	if n < 2 {
-		return m
+		return
 	}
-	m.vals = make([]float64, n*(n-1)/2)
+	if need := n * (n - 1) / 2; cap(m.vals) >= need {
+		m.vals = m.vals[:need]
+	} else {
+		m.vals = make([]float64, need)
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -71,27 +90,16 @@ func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
 		opt.Obs.Counter("distance.matrix.fills").Add(1)
 		opt.Obs.Gauge("distance.matrix.workers").Set(float64(workers))
 	}
-	// cellsDone reports one worker's fill contribution: the shared total
-	// plus a per-worker counter ("matrix cells filled per worker").
-	cellsDone := func(worker int, cells uint64) {
-		if opt.Obs == nil || cells == 0 {
-			return
-		}
-		opt.Obs.Counter("distance.matrix.cells").Add(cells)
-		opt.Obs.Counter(fmt.Sprintf("distance.matrix.cells.worker%02d", worker)).Add(cells)
-	}
-	fillRow := func(i int) {
-		base := m.tri(i, i+1)
-		for j := i + 1; j < n; j++ {
-			m.vals[base+j-i-1] = pair(i, j)
-		}
-	}
+	// The serial path stays free of the pool's closures (closures captured
+	// by worker goroutines escape to the heap even when the pool never
+	// spawns), so a single-worker refill into grown storage allocates
+	// nothing — the streaming pipeline's compaction case.
 	if workers <= 1 {
 		for i := 0; i < n-1; i++ {
-			fillRow(i)
+			m.fillRow(i, pair)
 		}
-		cellsDone(0, uint64(len(m.vals)))
-		return m
+		m.cellsDone(opt.Obs, 0, uint64(len(m.vals)))
+		return
 	}
 	block := opt.RowBlock
 	if block <= 0 {
@@ -112,7 +120,7 @@ func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
 			for {
 				lo := int(next.Add(int64(block))) - block
 				if lo >= n-1 {
-					cellsDone(worker, cells)
+					m.cellsDone(opt.Obs, worker, cells)
 					return
 				}
 				hi := lo + block
@@ -120,14 +128,31 @@ func NewMatrix(n int, pair PairFunc, opt MatrixOptions) *Matrix {
 					hi = n - 1
 				}
 				for i := lo; i < hi; i++ {
-					fillRow(i)
+					m.fillRow(i, pair)
 					cells += uint64(n - 1 - i)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	return m
+}
+
+// fillRow computes row i's strict-upper-triangle cells.
+func (m *Matrix) fillRow(i int, pair PairFunc) {
+	base := m.tri(i, i+1)
+	for j := i + 1; j < m.n; j++ {
+		m.vals[base+j-i-1] = pair(i, j)
+	}
+}
+
+// cellsDone reports one worker's fill contribution: the shared total plus
+// a per-worker counter ("matrix cells filled per worker").
+func (m *Matrix) cellsDone(c *obs.Collector, worker int, cells uint64) {
+	if c == nil || cells == 0 {
+		return
+	}
+	c.Counter("distance.matrix.cells").Add(cells)
+	c.Counter(fmt.Sprintf("distance.matrix.cells.worker%02d", worker)).Add(cells)
 }
 
 // NewMatrixFromSequences computes the pairwise matrix of a request

@@ -156,3 +156,36 @@ func TestMatrixConcurrentFillRace(t *testing.T) {
 	}
 	<-done
 }
+
+// TestMatrixFillReuse: refilling a matrix in place must produce results
+// identical to a fresh NewMatrix, for shrinking and growing populations,
+// and must not allocate once the storage has grown.
+func TestMatrixFillReuse(t *testing.T) {
+	seqs := randSeqs(9, 60, 10, 30)
+	d := L1{}
+	pairOver := func(s [][]float64) PairFunc {
+		return func(i, j int) float64 { return d.Distance(s[i], s[j]) }
+	}
+	var m Matrix
+	for _, n := range []int{60, 20, 1, 0, 45, 60} {
+		m.Fill(n, pairOver(seqs), MatrixOptions{Workers: 1})
+		want := NewMatrix(n, pairOver(seqs), MatrixOptions{Workers: 1})
+		if m.N() != want.N() {
+			t.Fatalf("n=%d: N=%d, want %d", n, m.N(), want.N())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: At(%d,%d)=%v, want %v", n, i, j, m.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+	pair := pairOver(seqs)
+	allocs := testing.AllocsPerRun(20, func() {
+		m.Fill(60, pair, MatrixOptions{Workers: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("serial refill allocates %v per run, want 0", allocs)
+	}
+}

@@ -68,8 +68,8 @@ func Figure11(cfg Config) (*Figure11Result, error) {
 		predicted := map[string][]float64{}
 		weights := map[string][]float64{}
 		for _, tr := range res.Store.Traces {
-			for _, p := range preds {
-				p.Reset()
+			for _, l := range labels { // ordered: never range the preds map
+				preds[l].Reset()
 			}
 			first := true
 			for _, period := range tr.Periods {
@@ -78,7 +78,8 @@ func Figure11(cfg Config) (*Figure11Result, error) {
 				}
 				val := period.C.Value(metrics.L2MissesPerIns)
 				dur := float64(period.Dur)
-				for l, p := range preds {
+				for _, l := range labels {
+					p := preds[l]
 					if !first {
 						actuals[l] = append(actuals[l], val)
 						predicted[l] = append(predicted[l], p.Predict())

@@ -60,6 +60,7 @@ func Registry() []Experiment {
 		def("fig13", Figure13),
 		def("ablations", Ablations),
 		def("faultanomaly", FaultAnomaly),
+		def("serve", Serve),
 	}
 }
 

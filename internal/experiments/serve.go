@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// ServeResult wraps the service-mode engine's run summary for the registry
+// and the verification harness: the full deterministic Result plus the
+// stream spec it ran, so the fingerprint covers the workload too.
+type ServeResult struct {
+	Spec     string
+	Requests int
+	Run      serve.Result
+}
+
+func (r *ServeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service mode: %d requests over %q\n", r.Requests, r.Spec)
+	b.WriteString(r.Run.String())
+	return b.String()
+}
+
+// Serve runs the streaming pipeline end to end: a scaled slice of the
+// default service stream with burst windows placed relative to the run's
+// expected span (so every scale exercises admission control), processed to
+// completion and drained. Results are bit-identical across repeats and
+// GOMAXPROCS settings — the registry's online counterpart to the offline
+// figures.
+func Serve(cfg Config) (*ServeResult, error) {
+	requests := cfg.scaled(1_000_000, 20_000)
+	sc := serve.DefaultConfig(cfg.Seed)
+	// Expected virtual span at the base rate; bursts land at 25% (2.5×,
+	// degrading) and 60% (6×, shedding) of it regardless of scale, and the
+	// compaction interval tracks the span so every scale recompacts several
+	// times. Admission is tightened (smaller queues, costlier degraded
+	// matching) so the shedding burst genuinely overruns capacity.
+	spanNs := float64(requests) / sc.Stream.RatePerSec * 1e9
+	sc.Stream.Bursts = []workload.StreamBurst{
+		{StartNs: 0.25 * spanNs, DurationNs: 0.20 * spanNs, Factor: 2.5},
+		{StartNs: 0.60 * spanNs, DurationNs: 0.08 * spanNs, Factor: 6},
+	}
+	if ticks := int(spanNs / float64(sc.TickNs)); ticks/8 > 0 {
+		sc.CompactTicks = ticks / 8
+	} else {
+		sc.CompactTicks = 1
+	}
+	sc.QueueCap = 320
+	sc.DegradeDepth = 128
+	sc.CostDegradedNs = 1500
+	sc.Obs = cfg.Obs
+	e, err := serve.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	e.Process(requests)
+	e.Drain()
+	return &ServeResult{
+		Spec:     sc.Stream.String(),
+		Requests: requests,
+		Run:      e.Result(),
+	}, nil
+}

@@ -174,6 +174,8 @@ type Collector struct {
 	counterByNm map[string]*Counter
 	gauges      []*Gauge
 	gaugeByNm   map[string]*Gauge
+	hists       []*Histogram
+	histByNm    map[string]*Histogram
 	sampleEvery uint64
 	sampler     SamplerStats
 }

@@ -33,6 +33,18 @@ type GaugeReport struct {
 	Value float64 `json:"value"`
 }
 
+// HistogramReport is one exported fixed-bucket histogram: the count plus
+// the standard quantiles, computed from the frozen counts at report time.
+type HistogramReport struct {
+	Name   string  `json:"name"`
+	Count  uint64  `json:"count"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
 // SamplerReport is the exported Table 1-style overhead accounting.
 type SamplerReport struct {
 	KernelSamples    uint64  `json:"kernel_samples"`
@@ -47,12 +59,13 @@ type SamplerReport struct {
 // Report is a collector's frozen, serializable state: span totals in
 // virtual time, counters, gauges, and sampler overhead accounting.
 type Report struct {
-	Label       string          `json:"label"`
-	SampleEvery uint64          `json:"sample_every,omitempty"`
-	Spans       *SpanReport     `json:"spans"`
-	Counters    []CounterReport `json:"counters,omitempty"`
-	Gauges      []GaugeReport   `json:"gauges,omitempty"`
-	Sampler     *SamplerReport  `json:"sampler,omitempty"`
+	Label       string            `json:"label"`
+	SampleEvery uint64            `json:"sample_every,omitempty"`
+	Spans       *SpanReport       `json:"spans"`
+	Counters    []CounterReport   `json:"counters,omitempty"`
+	Gauges      []GaugeReport     `json:"gauges,omitempty"`
+	Histograms  []HistogramReport `json:"histograms,omitempty"`
+	Sampler     *SamplerReport    `json:"sampler,omitempty"`
 }
 
 // Report snapshots the collector. Child order is creation order, counter
@@ -73,6 +86,17 @@ func (c *Collector) Report() *Report {
 	}
 	for _, g := range c.gauges {
 		r.Gauges = append(r.Gauges, GaugeReport{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range c.hists {
+		r.Histograms = append(r.Histograms, HistogramReport{
+			Name:   h.name,
+			Count:  h.Count(),
+			P50Ns:  h.Quantile(0.50),
+			P90Ns:  h.Quantile(0.90),
+			P99Ns:  h.Quantile(0.99),
+			P999Ns: h.Quantile(0.999),
+			MaxNs:  h.Max(),
+		})
 	}
 	if s := c.sampler; s != (SamplerStats{}) {
 		r.Sampler = &SamplerReport{
@@ -137,6 +161,15 @@ func (r *Report) Summary() string {
 	}
 	for _, g := range r.Gauges {
 		fmt.Fprintf(&b, "  %s = %g\n", g.Name, g.Value)
+	}
+	if len(r.Histograms) > 0 {
+		b.WriteString("\nhistograms (virtual ns):\n")
+		fmt.Fprintf(&b, "  %-28s  %10s  %10s  %10s  %10s  %10s  %10s\n",
+			"name", "count", "p50", "p90", "p99", "p999", "max")
+		for _, h := range r.Histograms {
+			fmt.Fprintf(&b, "  %-28s  %10d  %10.0f  %10.0f  %10.0f  %10.0f  %10d\n",
+				h.Name, h.Count, h.P50Ns, h.P90Ns, h.P99Ns, h.P999Ns, h.MaxNs)
+		}
 	}
 	if s := r.Sampler; s != nil {
 		b.WriteString("\nsampling overhead (Table 1 accounting):\n")

@@ -1,0 +1,522 @@
+// The tick engine. Each virtual tick runs three phases:
+//
+//  1. Ingest (serial): pull stream arrivals up to the tick boundary, hash
+//     each to a shard, and either enqueue it — degraded past DegradeDepth —
+//     or shed it when the shard queue is full.
+//  2. Process (parallel): shard workers burn their per-tick virtual budget
+//     on their own queues, oldest request first, feeding pattern chunks
+//     through the shared signature Service. Shards are claimed off an
+//     atomic counter by a persistent worker pool; every shard's work is a
+//     pure function of its queue, so worker scheduling cannot change
+//     results.
+//  3. Aggregate (serial, shard order): merge tick tallies, append
+//     completions to the sliding window, compact queues, and — every
+//     CompactTicks — rebuild the signature bank and recalibrate the
+//     anomaly threshold (compact.go).
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distance"
+	"repro/internal/obs"
+	"repro/internal/signature"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// req is one queued in-flight request. Records live in preallocated
+// per-shard double buffers and are moved by value; the id links the record
+// to its identification session inside the Service.
+type req struct {
+	id        uint64
+	arrivalNs int64
+	drift     float64
+	cpuNs     float64
+	app       int32
+	tmpl      int32
+	pos       int32
+	patLen    int32
+	anom      bool
+	degraded  bool
+	done      bool
+	predDone  bool
+	predHigh  bool
+}
+
+// winRec is one completed request in the sliding window — the compact form
+// from which compaction rematerializes the full pattern (a pure function
+// of these fields and the template library).
+type winRec struct {
+	app   int32
+	tmpl  int32
+	anom  bool
+	drift float64
+	cpuNs float64
+}
+
+// shardTally is one shard's per-tick outcome counts, merged serially in
+// shard order so totals are independent of worker scheduling.
+type shardTally struct {
+	completed         uint64
+	completedDegraded uint64
+	flagged           uint64
+	flaggedInjected   uint64
+	early             uint64
+	earlyWrong        uint64
+	scoreSum          float64
+}
+
+// shardState is one virtual service core: its queue double buffer, chunk
+// scratch, tick tally, and completion buffer. Only its owning worker
+// touches it during the parallel phase.
+type shardState struct {
+	q, qNext []req
+	chunk    []float64
+	winBuf   []winRec
+	tally    shardTally
+	depth    int // peak queue depth seen on this shard
+	// Pad to keep neighboring shards off each other's cache lines.
+	_ [64]byte
+}
+
+// Engine is a running service-mode pipeline. Methods are not safe for
+// concurrent use; the engine parallelizes internally.
+type Engine struct {
+	cfg    Config
+	stream *workload.Stream
+	tmpl   [][]template
+	// tmplCache[app][t] is template t identified against the current bank
+	// (refreshed at every compaction); degraded requests resolve against
+	// it at constant cost.
+	tmplCache [][]tmplMatch
+
+	svc     *signature.Service
+	matcher *signature.Matcher
+	bank    *signature.Bank
+	// threshold is the calibrated anomaly threshold on identification
+	// scores (+Inf until the first calibration).
+	threshold float64
+
+	shards []shardState
+	shift  uint
+
+	pending     workload.Arrival
+	havePending bool
+	nextID      uint64
+	tick        uint64
+	nowNs       int64
+
+	// Sliding window ring of recent completions.
+	win     []winRec
+	winLen  int
+	winHead int
+
+	// Compaction scratch (see compact.go); pairFn is bound once so the
+	// per-compaction Fill call allocates no closure.
+	winPats [][]float64
+	winN    int
+	dm      distance.Matrix
+	pairFn  distance.PairFunc
+	csc     cluster.Scratch
+	crng    *sim.RNG
+	scores  []float64
+	cpus    []float64
+	patBufs [][]float64
+
+	res Result
+
+	workers int
+	workCh  []chan struct{}
+	wg      sync.WaitGroup
+	claim   atomic.Int64
+	closed  bool
+
+	hist                                    *obs.Histogram
+	cArrivals, cShed, cDegraded, cCompleted *obs.Counter
+	cFlagged, cCompactions, cRecalibrations *obs.Counter
+}
+
+// New builds the engine: template libraries, the initial signature bank
+// (the templates themselves, so identification works from tick zero), the
+// sharded session service, and the persistent worker pool.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	stream, err := workload.NewStream(cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := buildTemplates(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		stream:    stream,
+		tmpl:      tmpl,
+		threshold: math.Inf(1),
+		shards:    make([]shardState, cfg.Shards),
+		shift:     uint(64 - log2(cfg.Shards)),
+		win:       make([]winRec, cfg.WindowSize),
+		workers:   cfg.Workers,
+		crng:      sim.NewRNG(0),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.q = make([]req, 0, cfg.QueueCap)
+		sh.qNext = make([]req, 0, cfg.QueueCap)
+		sh.chunk = make([]float64, cfg.ChunkBuckets)
+		sh.winBuf = make([]winRec, 0, cfg.QueueCap)
+	}
+	e.tmplCache = make([][]tmplMatch, len(tmpl))
+	for a := range tmpl {
+		e.tmplCache[a] = make([]tmplMatch, len(tmpl[a]))
+	}
+	// Pattern scratch is preallocated at the hard length cap so window
+	// rematerialization and bank rebuilds never grow a buffer mid-run.
+	e.winPats = make([][]float64, cfg.WindowSize)
+	for i := range e.winPats {
+		e.winPats[i] = make([]float64, 0, cfg.MaxPatternLen)
+	}
+	e.patBufs = make([][]float64, cfg.BankK)
+	for i := range e.patBufs {
+		e.patBufs[i] = make([]float64, 0, cfg.MaxPatternLen)
+	}
+	e.scores = make([]float64, 0, cfg.WindowSize)
+	e.cpus = make([]float64, 0, cfg.WindowSize)
+	e.pairFn = func(i, j int) float64 {
+		return signature.PatternDistance(e.winPats[i], e.winPats[j])
+	}
+	e.buildInitialBank()
+	e.svc = signature.NewService(e.matcher, cfg.Shards)
+	e.refreshTemplateCache()
+	e.hist = obs.NewHistogram("serve.identify.ns")
+	if c := cfg.Obs; c != nil {
+		c.RegisterHistogram(e.hist)
+		e.svc.SetObserver(c)
+		e.cArrivals = c.Counter("serve.arrivals")
+		e.cShed = c.Counter("serve.shed")
+		e.cDegraded = c.Counter("serve.degraded")
+		e.cCompleted = c.Counter("serve.completed")
+		e.cFlagged = c.Counter("serve.flagged")
+		e.cCompactions = c.Counter("serve.compactions")
+		e.cRecalibrations = c.Counter("serve.recalibrations")
+	}
+	if e.workers > 1 {
+		e.workCh = make([]chan struct{}, e.workers)
+		for w := range e.workCh {
+			ch := make(chan struct{}, 1)
+			e.workCh[w] = ch
+			go func() {
+				for range ch {
+					for {
+						s := int(e.claim.Add(1)) - 1
+						if s >= len(e.shards) {
+							break
+						}
+						e.processShard(&e.shards[s])
+					}
+					e.wg.Done()
+				}
+			}()
+		}
+	}
+	return e, nil
+}
+
+// log2 of a power of two.
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// shardFor mirrors the Service's Fibonacci-hash sharding, so each engine
+// shard drives exactly one Service shard and the parallel phase never
+// contends on session locks.
+func (e *Engine) shardFor(id uint64) *shardState {
+	if len(e.shards) == 1 {
+		return &e.shards[0]
+	}
+	return &e.shards[(id*0x9E3779B97F4A7C15)>>e.shift]
+}
+
+// Process advances the engine until at least n more stream arrivals have
+// been ingested (admitted or shed), then finishes the current tick and
+// returns. The queue may hold in-flight requests afterwards; call Drain to
+// run them down, or Process again to continue the stream.
+func (e *Engine) Process(n int) {
+	var ingested int
+	for ingested < n {
+		ingested += e.runTick(true)
+	}
+}
+
+// Drain runs ticks without ingesting until every shard queue is empty.
+func (e *Engine) Drain() {
+	for {
+		e.runTick(false)
+		empty := true
+		for i := range e.shards {
+			if len(e.shards[i].q) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return
+		}
+	}
+}
+
+// runTick executes one full tick and returns the number of arrivals
+// ingested.
+func (e *Engine) runTick(ingest bool) int {
+	tickEnd := e.nowNs + e.cfg.TickNs
+	var arrivals int
+	if ingest {
+		arrivals = e.ingest(tickEnd)
+	}
+	// Parallel shard phase.
+	if e.workers > 1 {
+		e.claim.Store(0)
+		e.wg.Add(e.workers)
+		for _, ch := range e.workCh {
+			ch <- struct{}{}
+		}
+		e.wg.Wait()
+	} else {
+		for i := range e.shards {
+			e.processShard(&e.shards[i])
+		}
+	}
+	e.aggregate()
+	e.nowNs = tickEnd
+	e.tick++
+	if e.tick%uint64(e.cfg.CompactTicks) == 0 {
+		e.compact()
+	}
+	return arrivals
+}
+
+// ingest admits stream arrivals up to the tick boundary.
+func (e *Engine) ingest(tickEnd int64) int {
+	var n int
+	for {
+		if !e.havePending {
+			e.stream.Next(&e.pending)
+			e.havePending = true
+		}
+		if e.pending.TimeNs >= tickEnd {
+			return n
+		}
+		a := e.pending
+		e.havePending = false
+		n++
+		e.res.Arrivals++
+		e.cArrivals.Add(1)
+		sh := e.shardFor(e.nextID)
+		if len(sh.q) == cap(sh.q) {
+			e.res.Shed++
+			e.cShed.Add(1)
+			e.nextID++
+			continue
+		}
+		tmpls := e.tmpl[a.App]
+		t := int((a.Bits >> 8) % uint64(len(tmpls)))
+		anom := isAnomalous(a.Bits)
+		drift := e.stream.DriftAt(a.TimeNs)
+		cpu := tmpls[t].cpuNs * drift
+		if anom {
+			cpu *= anomalyCPUFactor
+			e.res.Injected++
+		}
+		degraded := len(sh.q) >= e.cfg.DegradeDepth
+		if degraded {
+			e.res.Degraded++
+			e.cDegraded.Add(1)
+		}
+		sh.q = append(sh.q, req{
+			id:        e.nextID,
+			arrivalNs: a.TimeNs,
+			drift:     drift,
+			cpuNs:     cpu,
+			app:       int32(a.App),
+			tmpl:      int32(t),
+			patLen:    int32(len(tmpls[t].pattern)),
+			anom:      anom,
+			degraded:  degraded,
+		})
+		if len(sh.q) > sh.depth {
+			sh.depth = len(sh.q)
+		}
+		e.nextID++
+	}
+}
+
+// processShard burns one shard's tick budget on its queue, oldest request
+// first. It touches only the shard's own state and the Service shard its
+// requests hash to, so concurrent shards never conflict.
+func (e *Engine) processShard(sh *shardState) {
+	budget := e.cfg.TickNs
+	for i := range sh.q {
+		r := &sh.q[i]
+		if r.degraded {
+			if budget < e.cfg.CostDegradedNs {
+				return
+			}
+			budget -= e.cfg.CostDegradedNs
+			m := e.tmplCache[r.app][r.tmpl]
+			if !r.predDone {
+				r.predDone = true
+				r.predHigh = m.high
+				sh.tally.early++
+				if m.high != (r.cpuNs > e.bank.ThresholdNs) {
+					sh.tally.earlyWrong++
+				}
+			}
+			e.complete(sh, r, m.score, true)
+			continue
+		}
+		for r.pos < r.patLen {
+			nb := int32(e.cfg.ChunkBuckets)
+			if rem := r.patLen - r.pos; rem < nb {
+				nb = rem
+			}
+			cost := e.cfg.CostPerCallNs + int64(nb)*e.cfg.CostPerBucketNs
+			if budget < cost {
+				return
+			}
+			budget -= cost
+			pat := e.tmpl[r.app][r.tmpl].pattern
+			for k := int32(0); k < nb; k++ {
+				sh.chunk[k] = patternValue(pat, int(r.pos+k), r.drift, r.anom)
+			}
+			t0 := time.Now()
+			best, dist := e.svc.ObserveScored(r.id, sh.chunk[:nb]...)
+			e.hist.Observe(int64(time.Since(t0)))
+			r.pos += nb
+			if !r.predDone && r.pos >= (r.patLen+1)/2 {
+				r.predDone = true
+				r.predHigh = e.bank.HighUsage(best)
+				sh.tally.early++
+				if r.predHigh != (r.cpuNs > e.bank.ThresholdNs) {
+					sh.tally.earlyWrong++
+				}
+			}
+			if r.pos == r.patLen {
+				e.svc.Finish(r.id)
+				e.complete(sh, r, dist/float64(r.patLen), false)
+			}
+		}
+	}
+}
+
+// complete finalizes a request on its shard: anomaly scoring against the
+// calibrated threshold, tick tallies, and the window record.
+func (e *Engine) complete(sh *shardState, r *req, score float64, degraded bool) {
+	r.done = true
+	sh.tally.completed++
+	if degraded {
+		sh.tally.completedDegraded++
+	}
+	sh.tally.scoreSum += score
+	if score > e.threshold {
+		sh.tally.flagged++
+		if r.anom {
+			sh.tally.flaggedInjected++
+		}
+	}
+	sh.winBuf = append(sh.winBuf, winRec{
+		app: r.app, tmpl: r.tmpl, anom: r.anom, drift: r.drift, cpuNs: r.cpuNs,
+	})
+}
+
+// aggregate merges every shard's tick outcome serially in shard order and
+// compacts the queues (survivors keep arrival order).
+func (e *Engine) aggregate() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		t := &sh.tally
+		e.res.Completed += t.completed
+		e.res.CompletedDegraded += t.completedDegraded
+		e.res.Flagged += t.flagged
+		e.res.FlaggedInjected += t.flaggedInjected
+		e.res.EarlyPredictions += t.early
+		e.res.EarlyWrong += t.earlyWrong
+		e.res.ScoreSum += t.scoreSum
+		e.cCompleted.Add(t.completed)
+		e.cFlagged.Add(t.flagged)
+		*t = shardTally{}
+		for _, rec := range sh.winBuf {
+			e.win[e.winHead] = rec
+			e.winHead++
+			if e.winHead == len(e.win) {
+				e.winHead = 0
+			}
+			if e.winLen < len(e.win) {
+				e.winLen++
+			}
+		}
+		sh.winBuf = sh.winBuf[:0]
+		if sh.depth > e.res.MaxShardDepth {
+			e.res.MaxShardDepth = sh.depth
+		}
+		// Queue compaction: processing stops at the first request the
+		// budget could not finish, so survivors are contiguous in arrival
+		// order; copying them preserves FIFO.
+		sh.qNext = sh.qNext[:0]
+		for _, r := range sh.q {
+			if !r.done {
+				sh.qNext = append(sh.qNext, r)
+			}
+		}
+		sh.q, sh.qNext = sh.qNext, sh.q
+	}
+	e.res.Ticks++
+}
+
+// Queued returns the total in-flight requests across shards.
+func (e *Engine) Queued() int {
+	var n int
+	for i := range e.shards {
+		n += len(e.shards[i].q)
+	}
+	return n
+}
+
+// Histogram returns the identify-path latency histogram (wall-clock
+// nanoseconds per Service call; observability only, never fingerprinted).
+func (e *Engine) Histogram() *obs.Histogram { return e.hist }
+
+// Result snapshots the run's deterministic outcome.
+func (e *Engine) Result() Result {
+	r := e.res
+	r.VirtualNs = e.nowNs
+	r.BankEntries = len(e.bank.Entries)
+	r.Threshold = e.threshold
+	r.WindowFill = e.winLen
+	r.Queued = e.Queued()
+	return r
+}
+
+// Close stops the worker pool. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, ch := range e.workCh {
+		close(ch)
+	}
+}

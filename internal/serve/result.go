@@ -1,0 +1,71 @@
+// Result is the deterministic outcome of a serving run — plain exported
+// data so the verification harness can canonicalize and fingerprint it.
+// Wall-clock quantities (the identify-latency histogram) are deliberately
+// excluded: every field below is a pure function of the Config.
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result summarizes a serving run.
+type Result struct {
+	// Arrivals is the total stream arrivals ingested; Shed were refused at
+	// full shard queues; Degraded were admitted in cached-matching mode.
+	Arrivals uint64
+	Shed     uint64
+	Degraded uint64
+	// Completed counts finished requests; CompletedDegraded the subset
+	// resolved through the template cache.
+	Completed         uint64
+	CompletedDegraded uint64
+	// EarlyPredictions/EarlyWrong are the half-pattern CPU-class
+	// predictions and their error count (the paper's Figure 10, online).
+	EarlyPredictions uint64
+	EarlyWrong       uint64
+	// Injected counts admitted requests carrying an injected anomaly;
+	// Flagged the requests whose identification score exceeded the
+	// calibrated threshold; FlaggedInjected their intersection.
+	Injected        uint64
+	Flagged         uint64
+	FlaggedInjected uint64
+	// ScoreSum is the sum of completion scores (distance per bucket) — a
+	// high-sensitivity determinism witness.
+	ScoreSum float64
+	// Compactions and Recalibrations count bank rebuilds and threshold
+	// calibrations.
+	Compactions    uint64
+	Recalibrations uint64
+	// Ticks and VirtualNs measure the run on the virtual clock.
+	Ticks     uint64
+	VirtualNs int64
+	// MaxShardDepth is the deepest any shard queue got (backpressure
+	// witness); Queued is the in-flight count at snapshot time.
+	MaxShardDepth int
+	Queued        int
+	// BankEntries, Threshold, and WindowFill snapshot the adaptive state.
+	BankEntries int
+	Threshold   float64
+	WindowFill  int
+}
+
+// String renders the run summary as a fixed-width table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service-mode run: %d ticks, %.3fs virtual\n", r.Ticks, float64(r.VirtualNs)/1e9)
+	row := func(label, format string, args ...any) {
+		fmt.Fprintf(&b, "  %-22s "+format+"\n", append([]any{label}, args...)...)
+	}
+	row("arrivals", "%d (shed %d, degraded %d)", r.Arrivals, r.Shed, r.Degraded)
+	row("completed", "%d (degraded %d, in flight %d)", r.Completed, r.CompletedDegraded, r.Queued)
+	if r.EarlyPredictions > 0 {
+		row("early predictions", "%d (%.2f%% wrong)", r.EarlyPredictions,
+			100*float64(r.EarlyWrong)/float64(r.EarlyPredictions))
+	}
+	row("anomalies", "injected %d, flagged %d (hits %d)", r.Injected, r.Flagged, r.FlaggedInjected)
+	row("bank", "%d entries, %d compactions, %d recalibrations", r.BankEntries, r.Compactions, r.Recalibrations)
+	row("threshold", "%.6g (window %d)", r.Threshold, r.WindowFill)
+	row("backpressure", "max shard depth %d", r.MaxShardDepth)
+	return b.String()
+}

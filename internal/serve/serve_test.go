@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// testConfig is a small, fast run that still exercises every path:
+// periodic load, a burst strong enough to cross the degrade depth, drift,
+// and several compactions.
+func testConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Stream.Bursts[0] = workload.StreamBurst{StartNs: 12e6, DurationNs: 10e6, Factor: 3}
+	cfg.WindowSize = 256
+	cfg.CompactTicks = 10
+	return cfg
+}
+
+func run(t *testing.T, cfg Config, n int) Result {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Process(n)
+	e.Drain()
+	return e.Result()
+}
+
+func TestEngineBasicInvariants(t *testing.T) {
+	r := run(t, testConfig(1), 60_000)
+	if r.Arrivals < 60_000 {
+		t.Fatalf("ingested %d arrivals, want ≥ 60000", r.Arrivals)
+	}
+	if r.Completed+r.Shed != r.Arrivals || r.Queued != 0 {
+		t.Fatalf("accounting broken: arrivals=%d completed=%d shed=%d queued=%d",
+			r.Arrivals, r.Completed, r.Shed, r.Queued)
+	}
+	if r.Compactions == 0 || r.Recalibrations < r.Compactions {
+		t.Fatalf("compaction never ran: %+v", r)
+	}
+	if math.IsInf(r.Threshold, 1) {
+		t.Fatal("threshold never calibrated")
+	}
+	if r.Degraded == 0 {
+		t.Fatal("burst never crossed the degrade depth")
+	}
+	if r.EarlyPredictions != r.Completed {
+		t.Fatalf("every completion should carry an early prediction: %d vs %d",
+			r.EarlyPredictions, r.Completed)
+	}
+	if r.Injected == 0 || r.Flagged == 0 || r.FlaggedInjected == 0 {
+		t.Fatalf("anomaly pipeline inert: injected=%d flagged=%d hits=%d",
+			r.Injected, r.Flagged, r.FlaggedInjected)
+	}
+	// Detection should beat chance: injected requests are ~0.4% of
+	// traffic but should be a far larger share of flags.
+	if hitRate := float64(r.FlaggedInjected) / float64(r.Flagged); hitRate < 0.05 {
+		t.Fatalf("flagging indistinguishable from noise: hit rate %.3f", hitRate)
+	}
+}
+
+// TestEngineDeterministic: identical configs must produce bit-identical
+// results regardless of worker count or process-call batching.
+func TestEngineDeterministic(t *testing.T) {
+	base := run(t, testConfig(7), 40_000)
+	for _, workers := range []int{1, 2, 8} {
+		cfg := testConfig(7)
+		cfg.Workers = workers
+		if got := run(t, cfg, 40_000); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d diverges:\n got %+v\nwant %+v", workers, got, base)
+		}
+	}
+	// Two engines driven by the same Process-call sequence must agree
+	// (Process granularity is whole ticks, so different batchings of the
+	// same total are different — but equal batchings are bit-identical).
+	runSplit := func(workers int) Result {
+		cfg := testConfig(7)
+		cfg.Workers = workers
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for i := 0; i < 4; i++ {
+			e.Process(10_000)
+		}
+		e.Drain()
+		return e.Result()
+	}
+	if a, b := runSplit(1), runSplit(4); !reflect.DeepEqual(a, b) {
+		t.Fatalf("split processing diverges across workers:\n got %+v\nwant %+v", a, b)
+	}
+}
+
+func TestEngineSeedSensitivity(t *testing.T) {
+	a := run(t, testConfig(1), 30_000)
+	b := run(t, testConfig(2), 30_000)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestEngineOverdrive is the backpressure soak: a stream far beyond
+// virtual capacity must shed deterministically, keep every queue bounded,
+// and still drain — under any worker count (run with -race in CI).
+func TestEngineOverdrive(t *testing.T) {
+	overdriven := func(workers int) Config {
+		cfg := testConfig(3)
+		cfg.Stream.RatePerSec = 6_000_000
+		cfg.Stream.Bursts = nil
+		cfg.QueueCap = 512
+		cfg.DegradeDepth = 128
+		cfg.Workers = workers
+		return cfg
+	}
+	base := run(t, overdriven(0), 120_000)
+	if base.Shed == 0 {
+		t.Fatalf("overdriven stream never shed: %+v", base)
+	}
+	if base.Degraded == 0 || base.CompletedDegraded == 0 {
+		t.Fatalf("overdriven stream never degraded: %+v", base)
+	}
+	if base.MaxShardDepth > 512 {
+		t.Fatalf("queue depth %d exceeds cap 512", base.MaxShardDepth)
+	}
+	if base.Completed+base.Shed != base.Arrivals || base.Queued != 0 {
+		t.Fatalf("overdrive accounting broken: %+v", base)
+	}
+	for _, workers := range []int{1, 4} {
+		if got := run(t, overdriven(workers), 120_000); !reflect.DeepEqual(got, base) {
+			t.Fatalf("overdrive workers=%d diverges:\n got %+v\nwant %+v", workers, got, base)
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs: once warmed past the first compactions,
+// processing allocates nothing — the headline property of the service
+// mode.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation steady state needs a long warmup")
+	}
+	cfg := testConfig(5)
+	cfg.Workers = 1 // AllocsPerRun must see every allocation on one goroutine
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Process(120_000) // warm: pools grown, several compactions done
+	allocs := testing.AllocsPerRun(5, func() {
+		e.Process(20_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Process allocates %v per 20k requests, want 0", allocs)
+	}
+}

@@ -25,11 +25,34 @@ type Matcher struct {
 // NewMatcher prepares a bank for streaming identification. The bank must
 // not be mutated afterwards.
 func NewMatcher(b *Bank) *Matcher {
-	m := &Matcher{bank: b, segSums: make([][]float64, len(b.Entries))}
+	m := &Matcher{}
+	m.Rebuild(b)
+	return m
+}
+
+// Rebuild repoints the matcher at a (possibly new) bank, recomputing the
+// envelope in place and reusing the segment-sum storage — repeated
+// rebuilds over same-shaped banks reach an allocation-free steady state.
+// Rebuild breaks the immutability contract for its duration: the caller
+// must guarantee no Session or Service is reading the matcher while it
+// runs (the serving pipeline rebuilds only in its serial compaction
+// phase, after draining or rebinding every live session).
+func (m *Matcher) Rebuild(b *Bank) {
+	m.bank = b
+	if cap(m.segSums) >= len(b.Entries) {
+		m.segSums = m.segSums[:len(b.Entries)]
+	} else {
+		m.segSums = make([][]float64, len(b.Entries))
+	}
 	for e := range b.Entries {
 		pat := b.Entries[e].Pattern
 		ns := (len(pat) + paaSegment - 1) / paaSegment
-		sums := make([]float64, ns)
+		sums := m.segSums[e]
+		if cap(sums) >= ns {
+			sums = sums[:ns]
+		} else {
+			sums = make([]float64, ns)
+		}
 		for k := 0; k < ns; k++ {
 			hi := min((k+1)*paaSegment, len(pat))
 			var s float64
@@ -40,7 +63,6 @@ func NewMatcher(b *Bank) *Matcher {
 		}
 		m.segSums[e] = sums
 	}
-	return m
 }
 
 // Bank returns the matcher's underlying bank.

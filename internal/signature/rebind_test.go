@@ -1,0 +1,128 @@
+package signature
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSessionRebindMatchesNaive: swapping a session onto a new bank
+// mid-stream must leave it answering exactly what naive IdentifyPattern
+// says against the new bank for the full observed prefix — including for
+// buckets that arrive after the swap.
+func TestSessionRebindMatchesNaive(t *testing.T) {
+	g := sim.NewRNG(77)
+	for trial := 0; trial < 200; trial++ {
+		oldBank := randomBank(g, 3+g.Intn(30), 40)
+		newBank := randomBank(g, 3+g.Intn(30), 40)
+		oldM, newM := NewMatcher(oldBank), NewMatcher(newBank)
+		stream := randomStream(g, oldBank, 60)
+		cut := g.Intn(len(stream) + 1)
+
+		ses := oldM.NewSession()
+		ses.Extend(stream[:cut]...)
+		ses.Best() // force an identification against the old bank
+		ses.Rebind(newM)
+		if got, want := ses.Best(), newBank.IdentifyPattern(stream[:cut]); got != want {
+			t.Fatalf("trial %d: after rebind Best=%d, naive=%d", trial, got, want)
+		}
+		ses.Extend(stream[cut:]...)
+		if got, want := ses.Best(), newBank.IdentifyPattern(stream); got != want {
+			t.Fatalf("trial %d: post-rebind extend Best=%d, naive=%d", trial, got, want)
+		}
+		wantBest, wantD := newBank.IdentifyPatternScored(stream)
+		if ses.Best() != wantBest || ses.BestDistance() != wantD {
+			t.Fatalf("trial %d: scored mismatch: (%d,%v) vs (%d,%v)",
+				trial, ses.Best(), ses.BestDistance(), wantBest, wantD)
+		}
+	}
+}
+
+// TestMatcherRebuildMatchesNew: a rebuilt matcher must behave identically
+// to a freshly constructed one.
+func TestMatcherRebuildMatchesNew(t *testing.T) {
+	g := sim.NewRNG(78)
+	m := &Matcher{}
+	for trial := 0; trial < 50; trial++ {
+		b := randomBank(g, 1+g.Intn(40), 50)
+		m.Rebuild(b)
+		fresh := NewMatcher(b)
+		stream := randomStream(g, b, 70)
+		s1, s2 := m.NewSession(), fresh.NewSession()
+		s1.Extend(stream...)
+		s2.Extend(stream...)
+		if s1.Best() != s2.Best() || s1.BestDistance() != s2.BestDistance() {
+			t.Fatalf("trial %d: rebuilt matcher diverges: (%d,%v) vs (%d,%v)",
+				trial, s1.Best(), s1.BestDistance(), s2.Best(), s2.BestDistance())
+		}
+	}
+}
+
+// TestServiceSetMatcher: swapping the bank under a service must rebind
+// live sessions (keeping their prefixes) and pooled free sessions, and
+// subsequent observations must match naive identification on the new
+// bank.
+func TestServiceSetMatcher(t *testing.T) {
+	g := sim.NewRNG(79)
+	oldBank := randomBank(g, 20, 30)
+	newBank := randomBank(g, 35, 30)
+	svc := NewService(NewMatcher(oldBank), 4)
+
+	streams := make([][]float64, 16)
+	for id := range streams {
+		streams[id] = randomStream(g, oldBank, 40)
+	}
+	// Half the requests finish before the swap (populating free lists),
+	// half stay live across it.
+	for id, st := range streams {
+		cut := len(st) / 2
+		svc.ObserveScored(uint64(id), st[:cut]...)
+		if id%2 == 0 {
+			svc.Finish(uint64(id))
+		}
+	}
+	svc.SetMatcher(NewMatcher(newBank))
+	for id, st := range streams {
+		cut := len(st) / 2
+		if id%2 == 0 {
+			// Finished pre-swap: a fresh stream through a pooled session.
+			best, dist := svc.ObserveScored(uint64(id), st...)
+			wantBest, wantD := newBank.IdentifyPatternScored(st)
+			if best != wantBest || dist != wantD {
+				t.Fatalf("id %d (pooled): (%d,%v) vs naive (%d,%v)", id, best, dist, wantBest, wantD)
+			}
+			continue
+		}
+		// Live across the swap: prefix observed against the old bank, tail
+		// against the new — the result must equal naive on the whole stream.
+		best, dist := svc.ObserveScored(uint64(id), st[cut:]...)
+		wantBest, wantD := newBank.IdentifyPatternScored(st)
+		if best != wantBest || dist != wantD {
+			t.Fatalf("id %d (live): (%d,%v) vs naive (%d,%v)", id, best, dist, wantBest, wantD)
+		}
+	}
+}
+
+// TestServiceSetMatcherAllocFree: swaps between same-shaped banks must
+// not allocate once sessions exist.
+func TestServiceSetMatcherAllocFree(t *testing.T) {
+	g := sim.NewRNG(80)
+	bank := randomBank(g, 16, 24)
+	m1, m2 := NewMatcher(bank), NewMatcher(bank)
+	svc := NewService(m1, 2)
+	for id := 0; id < 8; id++ {
+		svc.Observe(uint64(id), randomStream(g, bank, 20)...)
+	}
+	cur := false
+	allocs := testing.AllocsPerRun(100, func() {
+		if cur {
+			svc.SetMatcher(m1)
+		} else {
+			svc.SetMatcher(m2)
+		}
+		cur = !cur
+	})
+	if allocs != 0 {
+		t.Fatalf("SetMatcher allocates %v per swap, want 0", allocs)
+	}
+}

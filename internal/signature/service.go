@@ -116,6 +116,44 @@ func (s *Service) Observe(id uint64, delta ...float64) int {
 	return ses.Best()
 }
 
+// ObserveScored is Observe additionally returning the best match's
+// prefix-L1 distance — one lock acquisition and one identification for
+// both values, the streaming pipeline's hot call.
+func (s *Service) ObserveScored(id uint64, delta ...float64) (best int, dist float64) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ses := s.session(sh, id)
+	ses.Extend(delta...)
+	return ses.Best(), ses.BestDistance()
+}
+
+// SetMatcher swaps the service onto a new matcher (a recompacted
+// signature bank), rebinding every live and pooled session: live sessions
+// keep their observed prefixes and re-identify against the new bank on
+// their next observation (see Session.Rebind). Session buffers are
+// reused, so a swap between same-sized banks allocates nothing.
+//
+// SetMatcher is not safe to run concurrently with other Service methods —
+// the caller must quiesce traffic first (the serving pipeline swaps banks
+// only in its serial compaction phase, between processing ticks).
+func (s *Service) SetMatcher(m *Matcher) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		// Iteration order over the live map is irrelevant: each rebind
+		// touches only its own session, so any order yields the same state.
+		for _, ses := range sh.live {
+			ses.Rebind(m)
+		}
+		for _, ses := range sh.free {
+			ses.Rebind(m)
+		}
+		sh.mu.Unlock()
+	}
+	s.m = m
+}
+
 // Update synchronizes request id's session to an externally recomputed
 // prefix (see Session.Update) and returns the current best bank index.
 func (s *Service) Update(id uint64, prefix []float64) int {

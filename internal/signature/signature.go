@@ -94,17 +94,34 @@ func prefixL1(prefix, entry []float64) float64 {
 	return sum
 }
 
+// PatternDistance is the bank's matching distance as an exported measure:
+// prefix-L1 with the longer pattern's unexplained tail charged at its own
+// values. It is symmetric, so it doubles as the pairwise distance for
+// online bank compaction (the streaming pipeline clusters window patterns
+// under the same metric identification uses).
+func PatternDistance(a, b []float64) float64 {
+	return prefixL1(a, b)
+}
+
 // IdentifyPattern returns the bank index whose signature's leading portion
 // best matches the partial variation pattern (smallest L1 distance), or -1
 // for an empty bank.
 func (b *Bank) IdentifyPattern(prefix []float64) int {
+	best, _ := b.IdentifyPatternScored(prefix)
+	return best
+}
+
+// IdentifyPatternScored is IdentifyPattern returning the winning distance
+// too (+Inf for an empty bank) — the anomaly score the streaming pipeline
+// thresholds.
+func (b *Bank) IdentifyPatternScored(prefix []float64) (int, float64) {
 	best, bestD := -1, math.Inf(1)
 	for i := range b.Entries {
 		if d := prefixL1(prefix, b.Entries[i].Pattern); d < bestD {
 			best, bestD = i, d
 		}
 	}
-	return best
+	return best, bestD
 }
 
 // IdentifyAverage returns the bank index whose whole-request average

@@ -18,6 +18,11 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the stream to the state NewRNG(seed) starts in, without
+// allocating — long-running consumers (the serving pipeline's periodic
+// compaction) reuse one stream across deterministic episodes.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Fork derives an independent child stream. The child's sequence depends
 // only on the parent's seed and the label, not on how many values the parent
 // has produced, when used via ForkLabeled; plain Fork consumes one value.

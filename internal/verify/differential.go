@@ -257,7 +257,7 @@ func checkFaultEvaluate(seed int64) error {
 		}
 		got := fault.Evaluate(pred, truth)
 		var tp int
-		for id := range pred {
+		for id := range pred { // maporder:ok per-key tally, order-free sum
 			if truth[id] {
 				tp++
 			}

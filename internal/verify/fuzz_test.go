@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/distance"
 	"repro/internal/signature"
+	"repro/internal/workload"
 )
 
 // The fuzz targets stress the same equivalences the differential suite
@@ -97,6 +98,36 @@ func FuzzSignatureMatch(f *testing.F) {
 			if got, want := s.Best(), bank.IdentifyPattern(prefix); got != want {
 				t.Fatalf("prefix len %d: session best %d, naive %d", len(prefix), got, want)
 			}
+		}
+	})
+}
+
+// FuzzStreamSpec checks the stream-spec parser (the service mode's config
+// surface) on arbitrary input: it must never panic, and every accepted
+// spec must satisfy the round-trip property — the parsed config validates,
+// renders back through String, and re-parses to an identical config, with
+// both renderings byte-equal (String is a canonical form).
+func FuzzStreamSpec(f *testing.F) {
+	f.Add("rate=800000;mix=webserver:4,tpcc:2,rubis:2;period=50ms:0.3,330ms:0.25:0.5;burst=100ms+40ms*2.5;drift=0.01;seed=1")
+	f.Add("rate=1;mix=webserver:1")
+	f.Add("rate=1e9;mix=tpch:0.5;period=1h:1:0.999;burst=0s+1ns*1000")
+	f.Add("rate=5;;mix= rubis : 2 ;drift=-1")
+	f.Add("rate=inf;mix=webserver:nan")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := workload.ParseStream(spec)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", spec, verr)
+		}
+		s1 := c.String()
+		c2, err := workload.ParseStream(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q rejected: %v", s1, spec, err)
+		}
+		if s2 := c2.String(); s2 != s1 {
+			t.Fatalf("round trip unstable:\n first %q\nsecond %q", s1, s2)
 		}
 	})
 }

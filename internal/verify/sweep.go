@@ -126,12 +126,13 @@ func DefaultGrid() []Cell {
 	const smoke = 0.05
 	// procsSubset exercises the stacks with real internal parallelism: the
 	// distance engine (fig7), the signature service (fig10), the kernel
-	// exec loop (fig1), the distributed driver (faultanomaly), and the
-	// contention-easing run fan-out (fig12) — the GOMAXPROCS=1 variant
-	// asserts its concurrent simulations aggregate identically to a serial
-	// execution.
+	// exec loop (fig1), the distributed driver (faultanomaly), the
+	// contention-easing run fan-out (fig12), and the service-mode shard
+	// workers (serve) — the GOMAXPROCS=1 variant asserts its concurrent
+	// simulations aggregate identically to a serial execution.
 	procsSubset := map[string]bool{
-		"fig1": true, "fig7": true, "fig10": true, "fig12": true, "faultanomaly": true,
+		"fig1": true, "fig7": true, "fig10": true, "fig12": true,
+		"faultanomaly": true, "serve": true,
 	}
 
 	var grid []Cell
@@ -210,7 +211,7 @@ func Sweep(cells []Cell, opt Options) (*Report, error) {
 		groups[c.Procs] = append(groups[c.Procs], i)
 	}
 	procsOrder := make([]int, 0, len(groups))
-	for p := range groups {
+	for p := range groups { // maporder:ok keys drained then sorted below
 		procsOrder = append(procsOrder, p)
 	}
 	sort.Ints(procsOrder)

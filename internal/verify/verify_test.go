@@ -179,10 +179,10 @@ func TestDefaultGridCoversRegistryAndProcs(t *testing.T) {
 			procs[c.Experiment][c.Procs] = true
 		}
 	}
-	if len(base) != 17 {
-		t.Fatalf("base grid covers %d experiments, want all 17", len(base))
+	if len(base) != 18 {
+		t.Fatalf("base grid covers %d experiments, want all 18", len(base))
 	}
-	for _, name := range []string{"fig1", "fig7", "fig10", "fig12", "faultanomaly"} {
+	for _, name := range []string{"fig1", "fig7", "fig10", "fig12", "faultanomaly", "serve"} {
 		if !procs[name][1] || !procs[name][4] {
 			t.Errorf("%s missing GOMAXPROCS={1,4} variants", name)
 		}
@@ -204,8 +204,8 @@ func TestDefaultGridCoversRegistryAndProcs(t *testing.T) {
 
 func TestFullGridIsOneFullScaleCellPerExperiment(t *testing.T) {
 	grid := FullGrid()
-	if len(grid) != 17 {
-		t.Fatalf("full grid has %d cells, want one per experiment (17)", len(grid))
+	if len(grid) != 18 {
+		t.Fatalf("full grid has %d cells, want one per experiment (18)", len(grid))
 	}
 	for _, c := range grid {
 		if c.Seed != 1 || c.Scale != 1 || c.Procs != 0 {

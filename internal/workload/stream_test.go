@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+const testSpec = "rate=800000;mix=webserver:4,tpcc:2,rubis:2;period=50ms:0.3,330ms:0.25:0.5;burst=100ms+40ms*1.6;drift=0.01;seed=1"
+
+func TestParseStreamRoundTrip(t *testing.T) {
+	cfg, err := ParseStream(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RatePerSec != 800000 || len(cfg.Apps) != 3 || len(cfg.Periods) != 2 || len(cfg.Bursts) != 1 {
+		t.Fatalf("unexpected parse: %+v", cfg)
+	}
+	if cfg.Periods[1].Phase != 0.5 || cfg.Bursts[0].Factor != 1.6 || cfg.DriftPerSec != 0.01 || cfg.Seed != 1 {
+		t.Fatalf("unexpected parse: %+v", cfg)
+	}
+	again, err := ParseStream(cfg.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", cfg.String(), err)
+	}
+	if !reflect.DeepEqual(cfg, again) {
+		t.Fatalf("round trip changed config:\n %+v\n %+v", cfg, again)
+	}
+}
+
+func TestParseStreamErrors(t *testing.T) {
+	bad := []string{
+		"",                                       // no rate/mix
+		"rate=100",                               // no mix
+		"mix=webserver:1",                        // no rate
+		"rate=0;mix=webserver:1",                 // zero rate
+		"rate=-5;mix=webserver:1",                // negative rate
+		"rate=1e3;mix=nosuchapp:1",               // unknown app
+		"rate=1e3;mix=webserver:0",               // zero weight
+		"rate=1e3;mix=webserver",                 // missing weight
+		"rate=1e3;mix=webserver:1;rate=2e3",      // duplicate key
+		"rate=1e3;mix=webserver:1;bogus=1",       // unknown key
+		"rate=1e3;mix=webserver:1;period=x",      // malformed period
+		"rate=1e3;mix=webserver:1;period=1s:2",   // amplitude out of range
+		"rate=1e3;mix=webserver:1;burst=1s*2",    // malformed burst
+		"rate=1e3;mix=webserver:1;burst=1s+0s*2", // zero burst duration
+		"rate=1e3;mix=webserver:1;drift=2",       // drift out of range
+		"notkeyvalue",
+	}
+	for _, spec := range bad {
+		if _, err := ParseStream(spec); err == nil {
+			t.Errorf("ParseStream(%q) accepted invalid spec", spec)
+		}
+	}
+}
+
+func TestStreamDeterministicAndMonotone(t *testing.T) {
+	cfg, err := ParseStream(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Arrival {
+		s, err := NewStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Arrival, 5000)
+		for i := range out {
+			s.Next(&out[i])
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("stream is not deterministic for a fixed config")
+	}
+	prev := int64(0)
+	apps := map[int]int{}
+	for _, ar := range a {
+		if ar.TimeNs <= prev {
+			t.Fatalf("arrival times not strictly increasing: %d after %d", ar.TimeNs, prev)
+		}
+		prev = ar.TimeNs
+		if ar.App < 0 || ar.App >= len(cfg.Apps) {
+			t.Fatalf("app index %d out of mix range", ar.App)
+		}
+		apps[ar.App]++
+	}
+	for i := range cfg.Apps {
+		if apps[i] == 0 {
+			t.Fatalf("app %d never drawn in 5000 arrivals", i)
+		}
+	}
+	// The dominant mix entry (weight 4 of 8) should dominate arrivals.
+	if apps[0] < apps[1] || apps[0] < apps[2] {
+		t.Fatalf("mix weights not respected: %v", apps)
+	}
+}
+
+func TestStreamSeedChangesSequence(t *testing.T) {
+	cfg, _ := ParseStream("rate=1e5;mix=webserver:1;seed=1")
+	cfg2 := cfg
+	cfg2.Seed = 2
+	s1, _ := NewStream(cfg)
+	s2, _ := NewStream(cfg2)
+	var a1, a2 Arrival
+	same := true
+	for i := 0; i < 10; i++ {
+		s1.Next(&a1)
+		s2.Next(&a2)
+		if a1 != a2 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStreamRateModulation(t *testing.T) {
+	cfg, err := ParseStream("rate=1000;mix=webserver:1;period=1s:0.5;burst=10s+1s*3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewStream(cfg)
+	// Peak of the sinusoid: t = period/4.
+	if up := s.RateAt(0.25e9); up < 1400 {
+		t.Fatalf("modulation peak rate %v, want ~1500", up)
+	}
+	if down := s.RateAt(0.75e9); down > 600 {
+		t.Fatalf("modulation trough rate %v, want ~500", down)
+	}
+	inBurst := s.RateAt(10.25e9)
+	outBurst := s.RateAt(9.25e9)
+	if inBurst < 2.5*outBurst {
+		t.Fatalf("burst factor not applied: in=%v out=%v", inBurst, outBurst)
+	}
+	if d := s.DriftAt(2e9); d != 1.0 {
+		t.Fatalf("zero-drift config must return 1, got %v", d)
+	}
+}
+
+func TestStreamNextAllocFree(t *testing.T) {
+	cfg, err := ParseStream(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Arrival
+	allocs := testing.AllocsPerRun(1000, func() { s.Next(&a) })
+	if allocs != 0 {
+		t.Fatalf("Stream.Next allocates %v per call, want 0", allocs)
+	}
+}
