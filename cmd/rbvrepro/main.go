@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rbvrepro [-seed N] [-scale F] [-run LIST] [-json FILE] [-trace] [-obs-sample N]
+//	rbvrepro [-seed N] [-scale F] [-run LIST] [-topology SPEC] [-json FILE] [-trace] [-obs-sample N]
 //	rbvrepro -verify [-grid smoke|full] [-run LIST] [-golden-dir DIR] [-verify-workers N]
 //	rbvrepro -golden [-grid smoke|full] [-golden-dir DIR] [-verify-workers N]
 //
@@ -12,6 +12,12 @@
 // writes an observability run report ("-" = stdout) and -trace prints the
 // human-readable span/counter summary; either flag attaches a collector to
 // every run. Collectors never change results (see package obs).
+//
+// -topology overrides the simulated machine of every multi-core run using
+// the compact topology syntax (see machine.ParseTopology), e.g.
+// "pkg=2:0.8,4:1.2:8;clock=2.5" or "cores=16;per=4". Runs that pin their
+// own core count (the solo baselines) keep it. Verification modes reject
+// the flag: golden fingerprints are defined on the paper's machine.
 //
 // -verify runs the deterministic verification sweep (package verify): the
 // selected experiment grid is re-executed in parallel and checked against
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/verify"
 )
@@ -49,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "master random seed (runs are reproducible per seed)")
 	scale := fs.Float64("scale", 1.0, "request-count scale factor (1.0 = full evaluation)")
 	runList := fs.String("run", "", "comma-separated experiments to run (default all, in paper order)")
+	topoSpec := fs.String("topology", "", "machine topology for multi-core runs (see machine.ParseTopology)")
 	jsonOut := fs.String("json", "", "write the observability run report as JSON to this file (\"-\" = stdout)")
 	traceOut := fs.Bool("trace", false, "print the observability span/counter summary after the runs")
 	obsSample := fs.Uint64("obs-sample", 1, "record 1 in N observations of the highest-frequency span series")
@@ -77,6 +85,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verifyMode || *goldenMode {
 		if *verifyMode && *goldenMode {
 			fmt.Fprintln(stderr, "rbvrepro: -verify and -golden are mutually exclusive")
+			return 2
+		}
+		if *topoSpec != "" {
+			fmt.Fprintln(stderr, "rbvrepro: -topology cannot be combined with -verify/-golden (fingerprints are defined on the default machine)")
 			return 2
 		}
 		// Each grid tier owns its corpus directory, so the smoke and full
@@ -154,6 +166,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Obs: col}
+	if *topoSpec != "" {
+		topo, err := machine.ParseTopology(*topoSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "rbvrepro: %v\n", err)
+			return 2
+		}
+		cfg.Topology = &topo
+	}
 	for _, e := range selected {
 		start := time.Now()
 		result, err := e.Run(cfg)

@@ -16,7 +16,7 @@ func TestSelectExperimentsDefaultIsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 18 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "serve" {
+	if len(sel) != 19 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "fleet" {
 		t.Fatalf("default selection wrong: %d experiments", len(sel))
 	}
 }
@@ -169,5 +169,27 @@ func TestRunVerifyNarrowedRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "cells ok") || !strings.Contains(stdout, "cell") {
 		t.Fatalf("verify summary or span trace missing: %q", stdout)
+	}
+}
+
+// -topology reruns the multi-core experiments on the given machine; bad
+// specs exit 2 and the verification modes refuse the flag (fingerprints
+// are defined on the paper's default machine).
+func TestRunTopologyFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "fig1", "-scale", "0.02", "-topology", "cores=8;per=4"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Fatalf("fig1 output missing:\n%s", out.String())
+	}
+	errBuf.Reset()
+	if code := run([]string{"-topology", "pkg="}, &out, &errBuf); code != 2 {
+		t.Fatalf("bad topology should exit 2, got %d", code)
+	}
+	errBuf.Reset()
+	if code := run([]string{"-verify", "-topology", "cores=8"}, &out, &errBuf); code != 2 ||
+		!strings.Contains(errBuf.String(), "-topology") {
+		t.Fatalf("verify+topology should exit 2 with an explanation, got %d: %s", code, errBuf.String())
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rbvserve [-seed N] [-requests N] [-spec STREAM] [-workers N] [-trace]
+//	rbvserve -topology FLEET [-policy rr|ease] [-seed N] [-requests N] [-spec STREAM] [-workers N]
 //
 // The run processes -requests arrivals (whole ticks, then a drain), prints
 // the engine's deterministic result table, and appends the identify-path
@@ -19,6 +20,16 @@
 // A -spec without its own seed=N inherits -seed, so sweeping seeds does not
 // require editing the spec. -trace prints the engine's counter summary via
 // an attached obs collector (results are identical either way).
+//
+// -topology switches to fleet mode (serve.Fleet): the stream is sharded
+// across a fleet of simulated machines given as "/"-separated topology
+// specs (see machine.ParseFleet), e.g.
+//
+//	rbvserve -topology "pkg=2,2/pkg=4:0.85/pkg=4:1.15:8,4:1.15:8" -policy ease
+//
+// -policy picks the placement policy: "rr" (round-robin, the default) or
+// "ease" (fleet-wide contention easing). Fleet results are bit-identical
+// across repeats and -workers settings.
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -48,12 +60,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	spec := fs.String("spec", "", "stream spec overriding the default arrival process (see workload.ParseStream)")
 	workers := fs.Int("workers", 0, "goroutines driving the shard phase (0 = GOMAXPROCS; never changes results)")
 	traceOut := fs.Bool("trace", false, "print the observability counter summary after the run")
+	topoSpec := fs.String("topology", "", "fleet mode: \"/\"-separated node topologies (see machine.ParseFleet)")
+	policy := fs.String("policy", "rr", "fleet placement policy: rr (round-robin) or ease (contention easing)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *requests <= 0 {
 		fmt.Fprintf(stderr, "rbvserve: -requests must be positive, got %d\n", *requests)
 		return 2
+	}
+	if *topoSpec != "" {
+		return runFleet(*topoSpec, *policy, *seed, *requests, *spec, *workers, stdout, stderr)
 	}
 
 	cfg := serve.DefaultConfig(*seed)
@@ -101,6 +118,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if col != nil {
 		fmt.Fprint(stdout, col.Report().Summary())
+	}
+	return 0
+}
+
+// runFleet is the -topology path: the stream sharded across a simulated
+// fleet under the selected placement policy.
+func runFleet(topoSpec, policy string, seed int64, requests int, spec string, workers int, stdout, stderr io.Writer) int {
+	nodes, err := machine.ParseFleet(topoSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "rbvserve: %v\n", err)
+		return 2
+	}
+	cfg := serve.DefaultFleetConfig(seed)
+	cfg.Nodes = nodes
+	cfg.Workers = workers
+	switch policy {
+	case "rr":
+		cfg.Policy = serve.FleetRoundRobin
+	case "ease":
+		cfg.Policy = serve.FleetContentionEase
+	default:
+		fmt.Fprintf(stderr, "rbvserve: unknown -policy %q (valid: rr, ease)\n", policy)
+		return 2
+	}
+	if spec != "" {
+		sc, err := workload.ParseStream(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "rbvserve: %v\n", err)
+			return 2
+		}
+		if !strings.Contains(spec, "seed=") {
+			sc.Seed = seed
+		}
+		cfg.Stream = sc
+	}
+	f, err := serve.NewFleet(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "rbvserve: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	start := time.Now()
+	f.Process(requests)
+	f.Drain()
+	wall := time.Since(start)
+	res := f.Result()
+
+	fmt.Fprintf(stdout, "stream %q\n", cfg.Stream.String())
+	fmt.Fprintf(stdout, "fleet  %q\n", machine.FleetString(cfg.Nodes))
+	fmt.Fprint(stdout, res.String())
+	if wall > 0 {
+		fmt.Fprintf(stdout, "  wall %.3fs (%.2fM req/s ingest)\n",
+			wall.Seconds(), float64(res.Arrivals)/wall.Seconds()/1e6)
 	}
 	return 0
 }

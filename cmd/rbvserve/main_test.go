@@ -81,3 +81,44 @@ func TestRunTrace(t *testing.T) {
 		t.Errorf("-trace output missing serve counters:\n%s", out)
 	}
 }
+
+// Fleet mode: -topology shards the stream across a simulated fleet and the
+// deterministic portion of its output is stable across worker counts.
+func TestRunFleetMode(t *testing.T) {
+	args := []string{"-topology", "pkg=2,2/pkg=4:1.15:8", "-policy", "ease", "-requests", "15000", "-seed", "4"}
+	code, out, errs := cli(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs)
+	}
+	for _, want := range []string{"fleet  ", "contention-easing", "node0", "node1", "fleet CPI", "merges"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+	_, a, _ := cli(t, append(args, "-workers", "1")...)
+	_, b, _ := cli(t, append(args, "-workers", "4")...)
+	if da, db := deterministicLines(a), deterministicLines(b); da != db {
+		t.Fatalf("fleet workers=1 and workers=4 diverge:\n%s\n---\n%s", da, db)
+	}
+}
+
+func TestRunFleetRejectsBadTopologyAndPolicy(t *testing.T) {
+	if code, _, errs := cli(t, "-topology", "pkg=0"); code != 2 || !strings.Contains(errs, "Cores") {
+		t.Fatalf("bad fleet spec: exit %d, stderr %s", code, errs)
+	}
+	if code, _, errs := cli(t, "-topology", "pkg=2,2", "-policy", "fifo"); code != 2 || !strings.Contains(errs, "fifo") {
+		t.Fatalf("bad policy: exit %d, stderr %s", code, errs)
+	}
+}
+
+// A -spec in fleet mode overrides the arrival stream and inherits -seed.
+func TestRunFleetSpecOverride(t *testing.T) {
+	code, out, errs := cli(t, "-topology", "pkg=2,2", "-requests", "4000",
+		"-spec", "rate=6000;mix=webserver:1", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs)
+	}
+	if !strings.Contains(out, "rate=6000;mix=webserver:1;seed=9") {
+		t.Fatalf("spec override not applied:\n%s", out)
+	}
+}

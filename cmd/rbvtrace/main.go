@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rbvtrace [-app NAME] [-requests N] [-cores N] [-seed N] [-limit N] [-buckets N]
+//	rbvtrace [-app NAME] [-requests N] [-cores N] [-topology SPEC] [-seed N] [-limit N] [-buckets N]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
@@ -29,7 +30,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	appName := fs.String("app", "tpcc", "application: webserver, tpcc, tpch, rubis, webwork")
 	requests := fs.Int("requests", 20, "requests to run")
-	cores := fs.Int("cores", 0, "machine cores (0 = the paper's 4)")
+	cores := fs.Int("cores", 0, "machine cores (0 = the paper's 4; deprecated, use -topology)")
+	topoSpec := fs.String("topology", "", "machine topology spec, e.g. pkg=4:0.85,4:1.15 (see machine.ParseTopology)")
 	seed := fs.Int64("seed", 1, "random seed")
 	limit := fs.Int("limit", 3, "number of request timelines to print")
 	buckets := fs.Int("buckets", 20, "resampling buckets per request")
@@ -42,13 +44,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rbvtrace:", err)
 		return 2
 	}
+	var extra []core.Option
+	if *topoSpec != "" {
+		topo, err := machine.ParseTopology(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "rbvtrace:", err)
+			return 2
+		}
+		extra = append(extra, core.WithTopology(topo))
+	}
 	res, err := core.Run(core.Options{
 		App:      app,
 		Cores:    *cores,
 		Requests: *requests,
 		Sampling: core.DefaultSampling(app),
 		Seed:     *seed,
-	})
+	}, extra...)
 	if err != nil {
 		fmt.Fprintln(stderr, "rbvtrace:", err)
 		return 1

@@ -71,3 +71,25 @@ func TestRunBadFlagExitsTwo(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+// -topology overrides the machine: a half-clock topology stretches every
+// request's virtual time, which shows up as a different (still
+// deterministic) dump; a bad spec exits 2 naming the field.
+func TestRunTopologyOverride(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-app", "webserver", "-requests", "2", "-limit", "1",
+		"-topology", "pkg=1:0.5,3:1:8;clock=2.5"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "webserver: 2 requests traced") {
+		t.Fatalf("header missing: %s", out.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-topology", "pkg=2:-1"}, &out, &errBuf); code != 2 {
+		t.Fatalf("bad topology spec should exit 2, got %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "FreqScale") {
+		t.Fatalf("error should name the offending field: %s", errBuf.String())
+	}
+}

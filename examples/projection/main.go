@@ -25,9 +25,9 @@ func main() {
 	// Solo runs give contention-free traces: the regime where per-period
 	// cost-model inversion is exact.
 	res, err := core.Run(core.Options{
-		App: app, Cores: 1, Concurrency: 1, Requests: 120,
+		App: app, Concurrency: 1, Requests: 120,
 		Sampling: core.DefaultSampling(app), Seed: 17,
-	})
+	}, core.WithTopology(machine.Homogeneous(1, 1)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/distance"
 	"repro/internal/kernel"
+	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sampling"
@@ -36,6 +37,9 @@ var (
 	ErrNoRequests = errors.New("core: Options.Requests must be positive")
 	// ErrBadCores reports a negative Options.Cores.
 	ErrBadCores = errors.New("core: Options.Cores must be non-negative")
+	// ErrBadTopology reports a machine layout that fails validation; the
+	// wrapped message names the offending topology field.
+	ErrBadTopology = errors.New("core: invalid machine topology")
 	// ErrBadConcurrency reports a negative Options.Concurrency.
 	ErrBadConcurrency = errors.New("core: Options.Concurrency must be non-negative")
 	// ErrBadThreshold reports a missing or non-positive UsageThreshold where
@@ -79,7 +83,15 @@ type Options struct {
 	// App is the server application under study.
 	App workload.App
 	// Cores overrides the machine's core count (0 = the paper's 4).
+	//
+	// Deprecated: use WithTopology (or set Topology), which also expresses
+	// packages, per-package frequency, and cache capacity. A positive Cores
+	// builds the equivalent homogeneous topology; Topology wins when both
+	// are set.
 	Cores int
+	// Topology overrides the full machine layout (nil = the paper's
+	// 2×2-core box, or the deprecated Cores shim). Set with WithTopology.
+	Topology *machine.Topology
 	// Concurrency is the closed-loop client session count (0 = 2×cores,
 	// enough to keep every core busy with queued alternatives).
 	Concurrency int
@@ -122,6 +134,15 @@ type Option func(*Options)
 // WithSampling sets the tracker configuration (see Options.Sampling).
 func WithSampling(cfg sampling.Config) Option {
 	return func(o *Options) { o.Sampling = cfg }
+}
+
+// WithTopology sets the machine layout for the run — package sizes,
+// per-package frequency scale and cache capacity, and clock rate (see
+// machine.Topology and machine.ParseTopology). It replaces the deprecated
+// Options.Cores override; a homogeneous topology of the same core count
+// produces bit-identical results.
+func WithTopology(t machine.Topology) Option {
+	return func(o *Options) { o.Topology = &t }
 }
 
 // WithObserver attaches an observability collector to the run. The run
@@ -227,11 +248,20 @@ func Run(opts Options, extra ...Option) (*Result, error) {
 	if opts.NoSwitchPollution {
 		kcfg.PollutionOnSwitch = false
 	}
-	if opts.Cores > 0 {
-		kcfg.Machine.Cores = opts.Cores
-		if opts.Cores < kcfg.Machine.CoresPerPackage {
-			kcfg.Machine.CoresPerPackage = opts.Cores
+	switch {
+	case opts.Topology != nil:
+		kcfg.Machine.Topology = *opts.Topology
+	case opts.Cores > 0:
+		// Deprecated-shim path: the homogeneous topology the old
+		// Cores/CoresPerPackage override produced.
+		per := kcfg.Machine.CoresPerPackage
+		if opts.Cores < per {
+			per = opts.Cores
 		}
+		kcfg.Machine.Topology = machine.Homogeneous(opts.Cores, per)
+	}
+	if err := kcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTopology, err)
 	}
 	k := kernel.New(eng, kcfg)
 	tk := sampling.NewTracker(k, opts.Sampling)
@@ -262,7 +292,7 @@ func Run(opts Options, extra ...Option) (*Result, error) {
 
 	concurrency := opts.Concurrency
 	if concurrency <= 0 {
-		concurrency = 2 * kcfg.Machine.Cores
+		concurrency = 2 * kcfg.Machine.NumCores()
 	}
 	d := kernel.NewDriver(k, kernel.LoadConfig{
 		App:         opts.App,

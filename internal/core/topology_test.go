@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// fingerprintRun reduces a run to a comparable summary: per-request
+// identity, sample counts, and the raw CPI series of every trace.
+func fingerprintRun(t *testing.T, res *Result) []float64 {
+	t.Helper()
+	out := []float64{float64(res.ContextSwitches), float64(res.Syscalls), float64(res.WallTime)}
+	for _, tr := range res.Store.Traces {
+		out = append(out, float64(tr.ID), float64(tr.Instructions()))
+		out = append(out, tr.Resampled(metrics.CPI, BucketFor(tr.App))...)
+	}
+	return out
+}
+
+// TestCoresShimEquivalence is the deprecated-alias golden test: a run with
+// Options.Cores must be bit-identical to the same run with WithTopology of
+// the equivalent homogeneous layout.
+func TestCoresShimEquivalence(t *testing.T) {
+	for _, cores := range []int{1, 2, 6} {
+		app := workload.NewTPCC()
+		viaCores, err := Run(Options{App: app, Cores: cores, Requests: 12,
+			Sampling: DefaultSampling(app), Seed: 5})
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		per := 2
+		if cores < per {
+			per = cores
+		}
+		viaTopo, err := Run(Options{App: app, Requests: 12,
+			Sampling: DefaultSampling(app), Seed: 5},
+			WithTopology(machine.Homogeneous(cores, per)))
+		if err != nil {
+			t.Fatalf("topology(%d): %v", cores, err)
+		}
+		a, b := fingerprintRun(t, viaCores), fingerprintRun(t, viaTopo)
+		if len(a) != len(b) {
+			t.Fatalf("cores=%d: fingerprint lengths %d != %d", cores, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cores=%d: fingerprint diverges at %d: %v != %v", cores, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTopologyWinsOverCores checks precedence: WithTopology overrides the
+// deprecated Cores field when both are set.
+func TestTopologyWinsOverCores(t *testing.T) {
+	app := workload.NewWebServer()
+	halfClock := machine.Topology{
+		Packages:    []machine.PackageSpec{{Cores: 1, FreqScale: 1}},
+		CyclesPerNs: 1.5,
+	}
+	res, err := Run(Options{App: app, Cores: 1, Concurrency: 1, Requests: 4, Seed: 1},
+		WithTopology(halfClock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Run(Options{App: app, Cores: 1, Concurrency: 1, Requests: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallTime <= solo.WallTime {
+		t.Fatalf("half-clock topology should run slower: %v vs %v", res.WallTime, solo.WallTime)
+	}
+}
+
+func TestRunRejectsBadTopology(t *testing.T) {
+	app := workload.NewWebServer()
+	_, err := Run(Options{App: app, Requests: 1, Seed: 1},
+		WithTopology(machine.Topology{Packages: []machine.PackageSpec{{Cores: 2, FreqScale: -1}}}))
+	if !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("err = %v, want ErrBadTopology", err)
+	}
+	if !strings.Contains(err.Error(), "FreqScale") {
+		t.Fatalf("error should name the offending field: %v", err)
+	}
+	// The deprecated shim surfaces uneven layouts as errors too (they used
+	// to panic in machine.New): Cores=3 now builds packages [2 1], which is
+	// valid, so it must run.
+	if _, err := Run(Options{App: app, Requests: 1, Seed: 1, Cores: 3}); err != nil {
+		t.Fatalf("Cores=3 should now run on an uneven topology, got %v", err)
+	}
+}
+
+// TestHeterogeneousRunDeterminism: a heterogeneous fleet-node layout must
+// reproduce bit-identically run to run.
+func TestHeterogeneousRunDeterminism(t *testing.T) {
+	topo, err := machine.ParseTopology("pkg=2:0.8,4:1.2:8;clock=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workload.NewTPCC()
+	run := func() []float64 {
+		res, err := Run(Options{App: app, Requests: 10, Sampling: DefaultSampling(app), Seed: 7},
+			WithTopology(topo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprintRun(t, res)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("heterogeneous run not deterministic at %d", i)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/kernel"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/sim"
@@ -158,17 +159,55 @@ type Config struct {
 	// the interconnect's randomness is independent of each request's
 	// workload content stream.
 	Seed int64
+	// Topology, when non-nil, sets every node's machine layout (it
+	// overrides KernelConfig's machine topology).
+	Topology *machine.Topology
+	// Topologies, when non-empty, gives each node its own layout — a
+	// heterogeneous fleet. Its length must equal Nodes; it overrides
+	// Topology.
+	Topologies []machine.Topology
+}
+
+// Validate reports configuration errors, naming the offending field.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("distributed: Config.Nodes must be positive, got %d", c.Nodes)
+	}
+	for i, p := range c.Placement {
+		if p < 0 || p >= c.Nodes {
+			return fmt.Errorf("distributed: Config.Placement[%d] = %d outside [0,%d)", i, p, c.Nodes)
+		}
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return fmt.Errorf("distributed: Config.Topology: %w", err)
+		}
+	}
+	if len(c.Topologies) > 0 && len(c.Topologies) != c.Nodes {
+		return fmt.Errorf("distributed: Config.Topologies has %d entries for %d nodes",
+			len(c.Topologies), c.Nodes)
+	}
+	for i, t := range c.Topologies {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("distributed: Config.Topologies[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// topologyFor resolves node i's machine topology override (nil = keep the
+// kernel config's layout).
+func (c Config) topologyFor(i int) *machine.Topology {
+	if len(c.Topologies) > 0 {
+		return &c.Topologies[i]
+	}
+	return c.Topology
 }
 
 // NewCluster builds the cluster on a fresh simulation engine.
 func NewCluster(cfg Config) (*Cluster, error) {
-	if cfg.Nodes <= 0 {
-		return nil, fmt.Errorf("distributed: Nodes must be positive, got %d", cfg.Nodes)
-	}
-	for _, p := range cfg.Placement {
-		if p < 0 || p >= cfg.Nodes {
-			return nil, fmt.Errorf("distributed: placement %d outside [0,%d)", p, cfg.Nodes)
-		}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	net := cfg.Network
 	if net.DropRTO <= 0 {
@@ -190,12 +229,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if cfg.KernelConfig != nil {
 			kcfg = *cfg.KernelConfig
 		}
+		if t := cfg.topologyFor(i); t != nil {
+			kcfg.Machine.Topology = *t
+		}
 		k := kernel.New(eng, kcfg)
 		tk := sampling.NewTracker(k, cfg.Sampling)
 		// Every node hosts a single local "tier 0" worker pool; segments
 		// arriving at a node always run as that node's tier 0 (which is
 		// also what lets a hedged segment run on any alternate node).
-		k.AddWorkers(0, kcfg.Machine.Cores*2)
+		k.AddWorkers(0, kcfg.Machine.NumCores()*2)
 		node := &Node{Name: fmt.Sprintf("node%d", i), Kernel: k, Tracker: tk, idx: i}
 		c.nodes = append(c.nodes, node)
 		tk.OnComplete(func(tr *trace.Request) { node.lastDone = tr })

@@ -1,0 +1,86 @@
+package distributed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestClusterTopologyValidation(t *testing.T) {
+	cfg := clusterConfig(2, []int{0, 1})
+	bad := machine.Topology{Packages: []machine.PackageSpec{{Cores: 0, FreqScale: 1}}}
+	cfg.Topology = &bad
+	if _, err := NewCluster(cfg); err == nil || !strings.Contains(err.Error(), "Config.Topology") {
+		t.Fatalf("bad shared topology: err = %v", err)
+	}
+	cfg = clusterConfig(2, []int{0, 1})
+	cfg.Topologies = []machine.Topology{machine.DefaultTopology()}
+	if _, err := NewCluster(cfg); err == nil || !strings.Contains(err.Error(), "Topologies has 1 entries for 2 nodes") {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+	cfg.Topologies = []machine.Topology{machine.DefaultTopology(), bad}
+	if _, err := NewCluster(cfg); err == nil || !strings.Contains(err.Error(), "Config.Topologies[1]") {
+		t.Fatalf("per-node topology error should name the node: err = %v", err)
+	}
+}
+
+func TestHeterogeneousFleetNodes(t *testing.T) {
+	fleet, err := machine.ParseFleet("pkg=2,2/pkg=4:0.85/pkg=4:1.15,4:1.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := clusterConfig(3, []int{0, 1, 2})
+	cfg.Topologies = fleet
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCores := []int{4, 4, 8}
+	for i, n := range c.Nodes() {
+		if got := n.Kernel.Machine().NumCores(); got != wantCores[i] {
+			t.Fatalf("node %d cores = %d, want %d", i, got, wantCores[i])
+		}
+	}
+	if c.Nodes()[1].Kernel.Machine().CoreFrequencyScale(0) != 0.85 {
+		t.Fatal("node 1 frequency scale not applied")
+	}
+	traces := NewDriver(c, workload.NewRUBiS(), 4, 25, 3).Run()
+	if len(traces) != 25 {
+		t.Fatalf("completed %d/25", len(traces))
+	}
+
+	// Same fleet, same seed → bit-identical end times.
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces2 := NewDriver(c2, workload.NewRUBiS(), 4, 25, 3).Run()
+	for i := range traces {
+		if traces[i].End != traces2[i].End || traces[i].Start != traces2[i].Start {
+			t.Fatalf("fleet run not deterministic at trace %d", i)
+		}
+	}
+}
+
+func TestSharedTopologyAppliesToAllNodes(t *testing.T) {
+	topo, err := machine.ParseTopology("cores=8;per=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := clusterConfig(2, []int{0, 1})
+	cfg.Topology = &topo
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range c.Nodes() {
+		if got := n.Kernel.Machine().NumCores(); got != 8 {
+			t.Fatalf("node %d cores = %d, want 8", i, got)
+		}
+		if got := n.Kernel.Machine().Topology().NumPackages(); got != 2 {
+			t.Fatalf("node %d packages = %d, want 2", i, got)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sampling"
@@ -37,6 +38,11 @@ type Config struct {
 	// default — leaves runs uninstrumented; results are identical either
 	// way.
 	Obs *obs.Collector
+	// Topology, when non-nil, overrides the machine layout of every
+	// multi-core run in the suite (runs that pin an explicit core count,
+	// like Figure 1's solo-core calibration, keep it). Nil reproduces the
+	// paper's 2×2-core box.
+	Topology *machine.Topology
 }
 
 // DefaultConfig returns the standard evaluation configuration.
@@ -94,13 +100,25 @@ func (c Config) schedRequests(app string) int {
 func appSet() []workload.App { return workload.All() }
 
 // runTracked runs an application with its paper-standard periodic sampling.
+// cores > 0 pins a homogeneous layout of that many cores (solo-core
+// calibration); cores == 0 uses cfg.Topology, or the paper's default box.
 func runTracked(cfg Config, app workload.App, cores, requests int) (*core.Result, error) {
+	opts := []core.Option{core.WithSampling(core.DefaultSampling(app)), core.WithObserver(cfg.Obs)}
+	switch {
+	case cores > 0:
+		per := 2
+		if cores < per {
+			per = cores
+		}
+		opts = append(opts, core.WithTopology(machine.Homogeneous(cores, per)))
+	case cfg.Topology != nil:
+		opts = append(opts, core.WithTopology(*cfg.Topology))
+	}
 	return core.Run(core.Options{
 		App:      app,
-		Cores:    cores,
 		Requests: requests,
 		Seed:     cfg.Seed,
-	}, core.WithSampling(core.DefaultSampling(app)), core.WithObserver(cfg.Obs))
+	}, opts...)
 }
 
 // schedSampling is DefaultSampling without system call event retention. The

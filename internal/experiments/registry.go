@@ -61,6 +61,7 @@ func Registry() []Experiment {
 		def("ablations", Ablations),
 		def("faultanomaly", FaultAnomaly),
 		def("serve", Serve),
+		def("fleet", Fleet),
 	}
 }
 

@@ -57,6 +57,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports configuration errors, naming the offending field.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.Quantum < 0 {
+		return fmt.Errorf("kernel: Quantum must be non-negative, got %v", c.Quantum)
+	}
+	return nil
+}
+
 // ThreadState is a worker thread's scheduling state.
 type ThreadState int
 
@@ -225,7 +236,7 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 	if k.cfg.Policy == nil {
 		k.cfg.Policy = RoundRobin{}
 	}
-	for i := 0; i < cfg.Machine.Cores; i++ {
+	for i := 0; i < cfg.Machine.NumCores(); i++ {
 		c := &coreState{id: i}
 		c.quantum = eng.NewTimer(func() { k.quantumExpiry(c) })
 		c.brk = eng.NewTimer(func() { k.breakpoint(c) })

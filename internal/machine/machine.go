@@ -66,12 +66,41 @@ func DefaultObserver() ObserverConfig {
 
 // Config describes the machine topology and cost model.
 type Config struct {
+	// Cores and CoresPerPackage describe a homogeneous layout.
+	//
+	// Deprecated: set Topology instead, which also expresses heterogeneous
+	// package sizes, per-package frequency scale, and per-package cache
+	// capacity. When Topology has packages, these two fields are ignored.
 	Cores           int
 	CoresPerPackage int
-	// CyclesPerNs is the clock rate (3.0 for the paper's 3 GHz Xeon 5160).
+	// CyclesPerNs is the nominal clock rate (3.0 for the paper's 3 GHz
+	// Xeon 5160). Topology.CyclesPerNs, when positive, overrides it.
 	CyclesPerNs float64
 	Cache       cache.Config
 	Observer    ObserverConfig
+	// Topology, when non-empty, is the authoritative package/core layout.
+	Topology Topology
+}
+
+// EffectiveTopology resolves the configured layout: Topology when set,
+// otherwise the homogeneous layout the deprecated Cores/CoresPerPackage
+// pair expresses.
+func (c Config) EffectiveTopology() Topology {
+	if len(c.Topology.Packages) > 0 {
+		return c.Topology
+	}
+	return Homogeneous(c.Cores, c.CoresPerPackage)
+}
+
+// NumCores returns the resolved total core count.
+func (c Config) NumCores() int { return c.EffectiveTopology().NumCores() }
+
+// clock returns the resolved cycles-per-ns rate.
+func (c Config) clock() float64 {
+	if c.Topology.CyclesPerNs > 0 {
+		return c.Topology.CyclesPerNs
+	}
+	return c.CyclesPerNs
 }
 
 // DefaultConfig returns the paper's platform: 4 cores, 2 packages, 3 GHz,
@@ -86,17 +115,23 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors, naming the offending field.
 func (c Config) Validate() error {
-	if c.Cores <= 0 {
-		return fmt.Errorf("machine: Cores must be positive, got %d", c.Cores)
+	if len(c.Topology.Packages) > 0 {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+	} else {
+		if c.Cores <= 0 {
+			return fmt.Errorf("machine: Cores must be positive, got %d", c.Cores)
+		}
+		if c.CoresPerPackage <= 0 || c.Cores%c.CoresPerPackage != 0 {
+			return fmt.Errorf("machine: Cores (%d) must be a multiple of CoresPerPackage (%d)",
+				c.Cores, c.CoresPerPackage)
+		}
 	}
-	if c.CoresPerPackage <= 0 || c.Cores%c.CoresPerPackage != 0 {
-		return fmt.Errorf("machine: Cores (%d) must be a multiple of CoresPerPackage (%d)",
-			c.Cores, c.CoresPerPackage)
-	}
-	if c.CyclesPerNs <= 0 {
-		return fmt.Errorf("machine: CyclesPerNs must be positive, got %v", c.CyclesPerNs)
+	if c.clock() <= 0 {
+		return fmt.Errorf("machine: CyclesPerNs must be positive, got %v", c.clock())
 	}
 	return nil
 }
@@ -149,8 +184,19 @@ type core struct {
 type Machine struct {
 	eng       *sim.Engine
 	cfg       Config
+	topo      Topology
+	clock     float64 // resolved cycles per ns at nominal frequency
 	cores     []*core
 	listeners []func(core int)
+	// pkgBase[p]/pkgCores[p] locate package p's contiguous core range;
+	// pkgCache[p] is its shared-cache config (Config.Cache with the
+	// package's CacheMB override applied, if any).
+	pkgBase  []int
+	pkgCores []int
+	pkgCache []cache.Config
+	// coreScale[i] is core i's static topology frequency scale; it composes
+	// multiplicatively with the dynamic machine-wide freqScale.
+	coreScale []float64
 	// penaltyFactor is the current machine-wide bandwidth inflation.
 	penaltyFactor float64
 	// freqScale is the DVFS multiplier on the configured clock: the
@@ -172,18 +218,36 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{eng: eng, cfg: cfg, penaltyFactor: 1, freqScale: 1}
-	for i := 0; i < cfg.Cores; i++ {
-		m.cores = append(m.cores, &core{id: i, pkg: i / cfg.CoresPerPackage})
+	m := &Machine{eng: eng, cfg: cfg, topo: cfg.EffectiveTopology(),
+		clock: cfg.clock(), penaltyFactor: 1, freqScale: 1}
+	maxPkgCores := 0
+	for p, ps := range m.topo.Packages {
+		m.pkgBase = append(m.pkgBase, len(m.cores))
+		m.pkgCores = append(m.pkgCores, ps.Cores)
+		pc := cfg.Cache
+		if ps.CacheMB > 0 {
+			pc.CapacityBytes = ps.CacheMB * (1 << 20)
+		}
+		m.pkgCache = append(m.pkgCache, pc)
+		for j := 0; j < ps.Cores; j++ {
+			m.cores = append(m.cores, &core{id: len(m.cores), pkg: p})
+			m.coreScale = append(m.coreScale, ps.FreqScale)
+		}
+		if ps.Cores > maxPkgCores {
+			maxPkgCores = ps.Cores
+		}
 	}
-	m.missScratch = make([]float64, cfg.Cores)
-	m.demandScratch = make([]*cache.Demand, cfg.CoresPerPackage)
-	m.demandBuf = make([]cache.Demand, cfg.CoresPerPackage)
+	m.missScratch = make([]float64, len(m.cores))
+	m.demandScratch = make([]*cache.Demand, maxPkgCores)
+	m.demandBuf = make([]cache.Demand, maxPkgCores)
 	return m
 }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Topology returns the machine's resolved package/core layout.
+func (m *Machine) Topology() Topology { return m.topo }
 
 // NumCores returns the number of cores.
 func (m *Machine) NumCores() int { return len(m.cores) }
@@ -241,11 +305,10 @@ func (m *Machine) advanceAll() {
 func (m *Machine) recomputeRates() (changed []int) {
 	// Effective miss ratios per package.
 	miss := m.missScratch
-	packages := m.cfg.Cores / m.cfg.CoresPerPackage
-	for p := 0; p < packages; p++ {
-		base := p * m.cfg.CoresPerPackage
-		demands := m.demandScratch
-		for j := 0; j < m.cfg.CoresPerPackage; j++ {
+	for p := range m.pkgBase {
+		base, n := m.pkgBase[p], m.pkgCores[p]
+		demands := m.demandScratch[:n]
+		for j := 0; j < n; j++ {
 			a := m.cores[base+j].activity
 			if a == nil {
 				demands[j] = nil
@@ -258,7 +321,7 @@ func (m *Machine) recomputeRates() (changed []int) {
 			}
 			demands[j] = &m.demandBuf[j]
 		}
-		cache.MissRatiosInto(m.cfg.Cache, demands, miss[base:base+m.cfg.CoresPerPackage])
+		cache.MissRatiosInto(m.pkgCache[p], demands, miss[base:base+n])
 	}
 	// Machine-wide bandwidth pressure.
 	var traffic float64
@@ -273,13 +336,16 @@ func (m *Machine) recomputeRates() (changed []int) {
 		if c.activity == nil {
 			c.rate = Rate{}
 		} else {
-			cpi := cache.CPI(m.cfg.Cache, c.activity.BaseCPI, c.activity.RefsPerIns,
+			cpi := cache.CPI(m.pkgCache[c.pkg], c.activity.BaseCPI, c.activity.RefsPerIns,
 				miss[i], m.penaltyFactor)
 			c.rate = Rate{
 				CPI:        cpi,
 				MissRatio:  miss[i],
 				RefsPerIns: c.activity.RefsPerIns,
-				NsPerIns:   cpi / (m.cfg.CyclesPerNs * m.freqScale),
+				// The topology scale is exactly 1 on homogeneous nominal
+				// layouts, so (clock*freq)*1 keeps the division bit-identical
+				// to the pre-topology formula.
+				NsPerIns: cpi / (m.clock * m.freqScale * m.coreScale[i]),
 			}
 		}
 		if c.rate != old {
@@ -346,6 +412,11 @@ func (m *Machine) SetFrequencyScale(scale float64) {
 // FrequencyScale returns the current DVFS multiplier.
 func (m *Machine) FrequencyScale() float64 { return m.freqScale }
 
+// CoreFrequencyScale returns the core's static topology frequency scale
+// (1 on homogeneous nominal layouts); it composes multiplicatively with
+// the dynamic FrequencyScale.
+func (m *Machine) CoreFrequencyScale(coreID int) float64 { return m.coreScale[coreID] }
+
 // AppInstructions reports how many application instructions the core has
 // completed in its current activity, as of now.
 func (m *Machine) AppInstructions(coreID int) float64 {
@@ -382,7 +453,7 @@ func (m *Machine) Inject(coreID int, ev metrics.Counters) sim.Time {
 	c := m.cores[coreID]
 	m.advance(c)
 	c.hw.add(ev)
-	d := sim.Time(float64(ev.Cycles) / (m.cfg.CyclesPerNs * m.freqScale))
+	d := sim.Time(float64(ev.Cycles) / (m.clock * m.freqScale * m.coreScale[coreID]))
 	now := m.eng.Now()
 	if c.stallUntil < now {
 		c.stallUntil = now
@@ -405,8 +476,8 @@ func (m *Machine) observerEvents(c *core, ctx metrics.SampleContext) metrics.Cou
 		panic(fmt.Sprintf("machine: unknown sample context %v", ctx))
 	}
 	pressure := 0.0
-	if c.activity != nil && m.cfg.Cache.CapacityBytes > 0 {
-		pressure = c.activity.WorkingSetBytes / m.cfg.Cache.CapacityBytes
+	if c.activity != nil && m.pkgCache[c.pkg].CapacityBytes > 0 {
+		pressure = c.activity.WorkingSetBytes / m.pkgCache[c.pkg].CapacityBytes
 		if pressure > 1 {
 			pressure = 1
 		}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// smallFleetConfig is a scaled-down fleet run that still exercises
+// compaction, merging, and both anomaly paths quickly.
+func smallFleetConfig(seed int64) FleetConfig {
+	cfg := DefaultFleetConfig(seed)
+	cfg.WindowSize = 128
+	cfg.CompactTicks = 50
+	cfg.MergeEvery = 2
+	return cfg
+}
+
+func runFleet(t *testing.T, cfg FleetConfig, n int) FleetResult {
+	t.Helper()
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Process(n)
+	f.Drain()
+	return f.Result()
+}
+
+// TestFleetDeterministicAcrossWorkers is the core determinism guarantee:
+// the full fleet result — counts, CPI sums, quantiles, per-node bank state
+// — must be bit-identical no matter how many workers drive the package
+// phase.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	var results []FleetResult
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := smallFleetConfig(11)
+		cfg.Workers = w
+		results = append(results, runFleet(t, cfg, 30_000))
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("fleet result differs between workers=1 and run %d:\n%v\nvs\n%v",
+				i, results[0], results[i])
+		}
+	}
+	if results[0].Completed == 0 {
+		t.Fatal("fleet completed nothing")
+	}
+}
+
+// TestFleetRunToRunDeterminism: identical configs reproduce identical
+// results across fresh fleets.
+func TestFleetRunToRunDeterminism(t *testing.T) {
+	a := runFleet(t, smallFleetConfig(3), 20_000)
+	b := runFleet(t, smallFleetConfig(3), 20_000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fleet run not reproducible:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestFleetLifecycle checks the pipeline end to end on both policies:
+// requests flow, nodes compact, banks merge and converge to BankK entries,
+// anomalies are injected and some flagged, latency quantiles populate.
+func TestFleetLifecycle(t *testing.T) {
+	for _, pol := range []FleetPolicy{FleetRoundRobin, FleetContentionEase} {
+		cfg := smallFleetConfig(7)
+		cfg.Policy = pol
+		res := runFleet(t, cfg, 40_000)
+		if res.Policy != pol.String() {
+			t.Fatalf("policy label %q", res.Policy)
+		}
+		if res.Arrivals < 40_000 {
+			t.Fatalf("%v: ingested %d arrivals", pol, res.Arrivals)
+		}
+		if res.Completed+res.Shed != res.Arrivals || res.Queued != 0 {
+			t.Fatalf("%v: accounting broken: %d completed + %d shed != %d arrivals (queued %d)",
+				pol, res.Completed, res.Shed, res.Arrivals, res.Queued)
+		}
+		if res.Completed < res.Arrivals*9/10 {
+			t.Fatalf("%v: shed too much: completed %d of %d", pol, res.Completed, res.Arrivals)
+		}
+		if res.CPI <= 0 || res.P99Ns <= 0 {
+			t.Fatalf("%v: degenerate fleet metrics: CPI %v p99 %v", pol, res.CPI, res.P99Ns)
+		}
+		if res.Injected == 0 || res.Flagged == 0 {
+			t.Fatalf("%v: anomaly path dead: injected %d flagged %d", pol, res.Injected, res.Flagged)
+		}
+		if res.CompactionRounds == 0 || res.Merges == 0 {
+			t.Fatalf("%v: banks never compacted/merged: %d/%d", pol, res.CompactionRounds, res.Merges)
+		}
+		if len(res.Nodes) != 3 {
+			t.Fatalf("%v: %d node results", pol, len(res.Nodes))
+		}
+		var total uint64
+		for _, n := range res.Nodes {
+			total += n.Completed
+			if n.Completed == 0 {
+				t.Fatalf("%v: node %d starved", pol, n.Node)
+			}
+			if n.CPI <= 0 || n.P99Ns <= 0 {
+				t.Fatalf("%v: node %d degenerate metrics", pol, n.Node)
+			}
+			if n.BankEntries != cfg.BankK {
+				t.Fatalf("%v: node %d bank has %d entries, want %d", pol, n.Node, n.BankEntries, cfg.BankK)
+			}
+		}
+		if total != res.Completed {
+			t.Fatalf("%v: node completions %d != fleet %d", pol, total, res.Completed)
+		}
+	}
+}
+
+// TestFleetContentionEasingHelps: on the heterogeneous fleet the
+// contention-easing policy must not do worse than round-robin on fleet CPI
+// (the paper's Section 5.2 claim, scaled up).
+func TestFleetContentionEasingHelps(t *testing.T) {
+	rr := smallFleetConfig(5)
+	rr.Policy = FleetRoundRobin
+	ce := smallFleetConfig(5)
+	ce.Policy = FleetContentionEase
+	a := runFleet(t, rr, 60_000)
+	b := runFleet(t, ce, 60_000)
+	if b.CPI > a.CPI*1.02 {
+		t.Fatalf("contention easing should not hurt fleet CPI: RR %.4f vs CE %.4f", a.CPI, b.CPI)
+	}
+}
+
+// TestFleetSteadyStateAllocs: after warmup, the per-request allocation
+// cost must stay bounded — the fleet must be able to absorb millions of
+// requests with stable memory.
+func TestFleetSteadyStateAllocs(t *testing.T) {
+	cfg := smallFleetConfig(9)
+	cfg.Workers = 1 // count only the pipeline's allocations
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Process(40_000) // warm: windows filled, banks compacted and merged
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const n = 40_000
+	f.Process(n)
+	runtime.ReadMemStats(&after)
+	perReq := float64(after.Mallocs-before.Mallocs) / n
+	if perReq > 0.05 {
+		t.Fatalf("steady state allocates %.3f objects/request, want ~0", perReq)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	cases := []struct {
+		mut  func(*FleetConfig)
+		want string
+	}{
+		{func(c *FleetConfig) { c.Nodes = nil }, "FleetConfig.Nodes"},
+		{func(c *FleetConfig) { c.Nodes[1].Packages[0].Cores = 0 }, "FleetConfig.Nodes[1]"},
+		{func(c *FleetConfig) { c.Policy = FleetPolicy(9) }, "FleetConfig.Policy"},
+		{func(c *FleetConfig) { c.TickNs = 0 }, "FleetConfig.TickNs"},
+		{func(c *FleetConfig) { c.QueueCap = -1 }, "FleetConfig.QueueCap"},
+		{func(c *FleetConfig) { c.WindowSize = 1 }, "FleetConfig.WindowSize"},
+		{func(c *FleetConfig) { c.BankK = 0 }, "FleetConfig.BankK"},
+		{func(c *FleetConfig) { c.MergeEvery = -1 }, "FleetConfig.MergeEvery"},
+		{func(c *FleetConfig) { c.CalibrationQuantile = 1.5 }, "FleetConfig.CalibrationQuantile"},
+		{func(c *FleetConfig) { c.CalibrationHeadroom = 0 }, "FleetConfig.CalibrationHeadroom"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultFleetConfig(1)
+		tc.mut(&cfg)
+		_, err := NewFleet(cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("want error naming %s, got %v", tc.want, err)
+		}
+	}
+}
+
+// TestFleetSingleNodeDegenerate: a one-node fleet is valid and behaves.
+func TestFleetSingleNodeDegenerate(t *testing.T) {
+	cfg := smallFleetConfig(2)
+	cfg.Nodes = []machine.Topology{machine.Homogeneous(4, 2)}
+	cfg.Stream.RatePerSec = 8000
+	res := runFleet(t, cfg, 5000)
+	if len(res.Nodes) != 1 || res.Completed == 0 {
+		t.Fatalf("single-node fleet broken: %+v", res)
+	}
+}

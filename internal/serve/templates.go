@@ -23,6 +23,12 @@ import (
 type template struct {
 	pattern []float64 // refs/ins per progress bucket, ≤ MaxPatternLen
 	cpuNs   float64   // solo CPU consumption
+	// Fleet-mode demand summary (ignored by the single-node engine): total
+	// instructions plus the instruction-weighted base CPI and cache demand
+	// that drive the per-package contention model.
+	ins     float64
+	baseCPI float64
+	demand  cache.Demand
 }
 
 // tmplMatch is the cached identification of a template against the current
@@ -86,6 +92,13 @@ func requestTemplate(req *workload.Request, bucketIns float64, maxLen int, mc ma
 		a := p.Activity
 		cpi := cache.CPI(mc.Cache, a.BaseCPI, a.RefsPerIns, a.SoloMissRatio, 1)
 		t.cpuNs += p.Instructions * cpi / mc.CyclesPerNs
+		t.ins += p.Instructions
+		t.baseCPI += p.Instructions * a.BaseCPI
+		t.demand.RefsPerIns += p.Instructions * a.RefsPerIns
+		t.demand.SoloMissRatio += p.Instructions * a.SoloMissRatio
+		if a.WorkingSetBytes > t.demand.WorkingSetBytes {
+			t.demand.WorkingSetBytes = a.WorkingSetBytes
+		}
 		remaining := p.Instructions
 		for remaining > 0 {
 			take := bucketIns - fill
@@ -105,6 +118,11 @@ func requestTemplate(req *workload.Request, bucketIns float64, maxLen int, mc ma
 	}
 	if fill > 0 && len(t.pattern) < maxLen {
 		t.pattern = append(t.pattern, acc/fill)
+	}
+	if t.ins > 0 {
+		t.baseCPI /= t.ins
+		t.demand.RefsPerIns /= t.ins
+		t.demand.SoloMissRatio /= t.ins
 	}
 	return t
 }

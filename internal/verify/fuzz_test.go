@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/distance"
+	"repro/internal/machine"
 	"repro/internal/signature"
 	"repro/internal/workload"
 )
@@ -184,6 +185,50 @@ func FuzzFingerprintStability(f *testing.F) {
 			}
 			if strings.Contains(l.Value, "\n") {
 				t.Fatalf("value %q contains a newline", l.Value)
+			}
+		}
+	})
+}
+
+// FuzzTopologySpec checks the machine-topology parser (the fleet's config
+// surface) the same way FuzzStreamSpec checks the stream parser: arbitrary
+// input must never panic, and every accepted spec must validate and
+// round-trip through String to an identical topology with a stable
+// canonical rendering. The fleet form ("/"-separated nodes) must satisfy
+// the same property through ParseFleet/FleetString.
+func FuzzTopologySpec(f *testing.F) {
+	f.Add("pkg=2,2")
+	f.Add("cores=16;per=4")
+	f.Add("pkg=2:0.8,4:1.2:8;clock=2.5")
+	f.Add("pkg=1:0.5:0.125,3:1:8")
+	f.Add("cores=1")
+	f.Add("pkg=2,2/pkg=4:0.85/pkg=4:1.15:8,4:1.15:8")
+	f.Add("pkg=1e3:inf;clock=nan")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if topo, err := machine.ParseTopology(spec); err == nil {
+			if verr := topo.Validate(); verr != nil {
+				t.Fatalf("accepted spec %q fails Validate: %v", spec, verr)
+			}
+			s1 := topo.String()
+			topo2, err := machine.ParseTopology(s1)
+			if err != nil {
+				t.Fatalf("canonical form %q of %q rejected: %v", s1, spec, err)
+			}
+			if !topo.Equal(topo2) {
+				t.Fatalf("round trip changed the topology: %q -> %#v vs %#v", spec, topo, topo2)
+			}
+			if s2 := topo2.String(); s2 != s1 {
+				t.Fatalf("round trip unstable:\n first %q\nsecond %q", s1, s2)
+			}
+		}
+		if fleet, err := machine.ParseFleet(spec); err == nil {
+			s1 := machine.FleetString(fleet)
+			fleet2, err := machine.ParseFleet(s1)
+			if err != nil {
+				t.Fatalf("canonical fleet %q of %q rejected: %v", s1, spec, err)
+			}
+			if s2 := machine.FleetString(fleet2); s2 != s1 {
+				t.Fatalf("fleet round trip unstable:\n first %q\nsecond %q", s1, s2)
 			}
 		}
 	})

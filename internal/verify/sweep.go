@@ -127,13 +127,19 @@ func DefaultGrid() []Cell {
 	// procsSubset exercises the stacks with real internal parallelism: the
 	// distance engine (fig7), the signature service (fig10), the kernel
 	// exec loop (fig1), the distributed driver (faultanomaly), the
-	// contention-easing run fan-out (fig12), and the service-mode shard
-	// workers (serve) — the GOMAXPROCS=1 variant asserts its concurrent
-	// simulations aggregate identically to a serial execution.
+	// contention-easing run fan-out (fig12), the service-mode shard
+	// workers (serve), and the fleet package phase (fleet) — the
+	// GOMAXPROCS=1 variant asserts its concurrent simulations aggregate
+	// identically to a serial execution.
 	procsSubset := map[string]bool{
 		"fig1": true, "fig7": true, "fig10": true, "fig12": true,
-		"faultanomaly": true, "serve": true,
+		"faultanomaly": true, "serve": true, "fleet": true,
 	}
+	// The scheduler comparisons (Figures 12–13) get a wider seed×scale
+	// spread: their full-scale runs are interactive now, and the
+	// contention-easing deltas are the numbers most sensitive to an
+	// accidental behavior change.
+	widened := map[string]bool{"fig12": true, "fig13": true}
 
 	var grid []Cell
 	for _, name := range experiments.Names() {
@@ -146,6 +152,13 @@ func DefaultGrid() []Cell {
 			grid = append(grid,
 				Cell{Experiment: name, Seed: 1, Scale: smoke, Procs: 1},
 				Cell{Experiment: name, Seed: 1, Scale: smoke, Procs: 4},
+			)
+		}
+		if widened[name] {
+			grid = append(grid,
+				Cell{Experiment: name, Seed: 3, Scale: smoke},
+				Cell{Experiment: name, Seed: 2, Scale: 0.1},
+				Cell{Experiment: name, Seed: 1, Scale: 0.25},
 			)
 		}
 	}

@@ -179,10 +179,10 @@ func TestDefaultGridCoversRegistryAndProcs(t *testing.T) {
 			procs[c.Experiment][c.Procs] = true
 		}
 	}
-	if len(base) != 18 {
-		t.Fatalf("base grid covers %d experiments, want all 18", len(base))
+	if len(base) != 19 {
+		t.Fatalf("base grid covers %d experiments, want all 19", len(base))
 	}
-	for _, name := range []string{"fig1", "fig7", "fig10", "fig12", "faultanomaly", "serve"} {
+	for _, name := range []string{"fig1", "fig7", "fig10", "fig12", "faultanomaly", "serve", "fleet"} {
 		if !procs[name][1] || !procs[name][4] {
 			t.Errorf("%s missing GOMAXPROCS={1,4} variants", name)
 		}
@@ -196,16 +196,20 @@ func TestDefaultGridCoversRegistryAndProcs(t *testing.T) {
 		}
 	}
 	for name, n := range spread {
-		if n != 3 {
-			t.Errorf("%s has %d seed/scale cells, want 3", name, n)
+		want := 3
+		if name == "fig12" || name == "fig13" {
+			want = 6 // the scheduler comparisons carry the widened spread
+		}
+		if n != want {
+			t.Errorf("%s has %d seed/scale cells, want %d", name, n, want)
 		}
 	}
 }
 
 func TestFullGridIsOneFullScaleCellPerExperiment(t *testing.T) {
 	grid := FullGrid()
-	if len(grid) != 18 {
-		t.Fatalf("full grid has %d cells, want one per experiment (18)", len(grid))
+	if len(grid) != 19 {
+		t.Fatalf("full grid has %d cells, want one per experiment (19)", len(grid))
 	}
 	for _, c := range grid {
 		if c.Seed != 1 || c.Scale != 1 || c.Procs != 0 {

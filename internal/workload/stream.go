@@ -61,6 +61,16 @@ type StreamConfig struct {
 	// 1 + DriftPerSec·t/1e9, modeling slow workload evolution that forces
 	// the serving pipeline to re-calibrate.
 	DriftPerSec float64
+	// Cohorts, when ≥ 2, splits requests into that many behavior cohorts
+	// (derived from the arrival's jitter bits) whose drift rates spread
+	// around DriftPerSec: cohort k drifts at
+	// DriftPerSec·(1 + CohortSpread·(2k/(Cohorts−1) − 1)) per second —
+	// fleet-scale per-cohort behavior drift. 0 or 1 means one uniform
+	// cohort (CohortDriftAt == DriftAt).
+	Cohorts int
+	// CohortSpread is the relative drift-rate spread across cohorts, in
+	// [0, 1]. Zero keeps all cohorts at DriftPerSec.
+	CohortSpread float64
 	// Seed drives the stream's arrival draws.
 	Seed int64
 }
@@ -110,6 +120,12 @@ func (c StreamConfig) Validate() error {
 	}
 	if math.IsNaN(c.DriftPerSec) || math.Abs(c.DriftPerSec) > 1 {
 		return fmt.Errorf("workload: stream drift must be in [-1,1] per second, got %v", c.DriftPerSec)
+	}
+	if c.Cohorts < 0 {
+		return fmt.Errorf("workload: stream cohorts must be non-negative, got %d", c.Cohorts)
+	}
+	if math.IsNaN(c.CohortSpread) || c.CohortSpread < 0 || c.CohortSpread > 1 {
+		return fmt.Errorf("workload: stream cohort spread must be in [0,1], got %v", c.CohortSpread)
 	}
 	return nil
 }
@@ -161,6 +177,12 @@ func (c StreamConfig) String() string {
 	}
 	if c.DriftPerSec != 0 {
 		fmt.Fprintf(&b, ";drift=%s", fmtF(c.DriftPerSec))
+	}
+	if c.Cohorts != 0 {
+		fmt.Fprintf(&b, ";cohort=%d", c.Cohorts)
+		if c.CohortSpread != 0 {
+			fmt.Fprintf(&b, ":%s", fmtF(c.CohortSpread))
+		}
 	}
 	if c.Seed != 0 {
 		fmt.Fprintf(&b, ";seed=%d", c.Seed)
@@ -269,6 +291,18 @@ func ParseStream(spec string) (StreamConfig, error) {
 				return fail("drift %q: %v", val, err)
 			}
 			c.DriftPerSec = v
+		case "cohort":
+			n, spread, hasSpread := strings.Cut(val, ":")
+			v, err := strconv.Atoi(n)
+			if err != nil {
+				return fail("cohort count %q: %v", n, err)
+			}
+			c.Cohorts = v
+			if hasSpread {
+				if c.CohortSpread, err = strconv.ParseFloat(spread, 64); err != nil {
+					return fail("cohort spread %q: %v", spread, err)
+				}
+			}
 		case "seed":
 			v, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
@@ -276,7 +310,7 @@ func ParseStream(spec string) (StreamConfig, error) {
 			}
 			c.Seed = v
 		default:
-			return fail("unknown key %q (valid: rate, mix, period, burst, drift, seed)", key)
+			return fail("unknown key %q (valid: rate, mix, period, burst, drift, cohort, seed)", key)
 		}
 	}
 	if err := c.Validate(); err != nil {
@@ -356,6 +390,29 @@ func (s *Stream) RateAt(tNs float64) float64 {
 // DriftAt returns the pattern drift factor at virtual time t.
 func (s *Stream) DriftAt(tNs int64) float64 {
 	return 1 + s.cfg.DriftPerSec*float64(tNs)/1e9
+}
+
+// CohortOf returns the cohort index of an arrival's jitter bits (always 0
+// without cohorts). It consumes high bits, independent of the low bits the
+// serving layer uses for template choice and anomaly injection.
+func (c StreamConfig) CohortOf(bits uint64) int {
+	if c.Cohorts < 2 {
+		return 0
+	}
+	return int((bits >> 40) % uint64(c.Cohorts))
+}
+
+// CohortDriftAt returns the drift factor of a cohort at virtual time t:
+// cohorts spread their drift rates by CohortSpread around DriftPerSec.
+// With fewer than two cohorts it equals DriftAt.
+func (s *Stream) CohortDriftAt(tNs int64, cohort int) float64 {
+	n := s.cfg.Cohorts
+	if n < 2 {
+		return s.DriftAt(tNs)
+	}
+	rel := 2*float64(cohort)/float64(n-1) - 1
+	rate := s.cfg.DriftPerSec * (1 + s.cfg.CohortSpread*rel)
+	return 1 + rate*float64(tNs)/1e9
 }
 
 // Next fills a with the next arrival. The interarrival gap is an
