@@ -8,15 +8,16 @@
 
 GO ?= go
 
-.PHONY: check vet maporder build test test-dist test-procs bench bench-json bench-smoke faults verify verify-full golden golden-full cover fuzz
+.PHONY: check vet maporder build test test-dist test-procs bench bench-json bench-smoke faults localize verify verify-full golden golden-full cover fuzz
 
 check: vet maporder build test test-dist bench
 
 vet:
 	$(GO) vet ./...
 
-# maporder is the deterministic-output audit: no `for … range m` over a
-# locally declared map without a `// maporder:ok <why>` annotation — map
+# maporder is the deterministic-output audit: no `for … range m` over
+# anything map-typed (type-checked, so function returns, struct fields, and
+# parameters count) without a `// maporder:ok <why>` annotation — map
 # iteration order reaching a result struct or rendered table is exactly the
 # class of bug the golden-fingerprint corpus turns into flaky failures.
 maporder:
@@ -48,6 +49,12 @@ test-procs:
 # detector precision/recall/F1 against ground truth.
 faults:
 	$(GO) run ./cmd/rbvrepro -scale 0.05 -run faultanomaly
+
+# localize is the root-cause localization smoke: clean-baseline causal
+# paths, a labeled fault schedule, and the per-class (tier, node,
+# fault-kind) precision/recall/F1 report against ground truth.
+localize:
+	$(GO) run ./cmd/rbvrepro -scale 0.05 -run faultlocalize
 
 # verify re-runs the deterministic verification sweep (every registry
 # experiment across the seed x scale x GOMAXPROCS grid) and diffs the

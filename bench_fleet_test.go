@@ -13,6 +13,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -79,6 +80,14 @@ func BenchmarkFleetSteadyState(b *testing.B) {
 			}
 			b.ReportMetric(res.P99Ns, "p99-ns")
 			b.ReportMetric(float64(b.N)*perOp/b.Elapsed().Seconds(), "req/s")
+			// Per-node health: only "-ns" metrics are regression-compared by
+			// cmd/benchjson; shed/degraded counts are recorded for the
+			// snapshot without gating (they track the stream, not the code).
+			for _, n := range res.Nodes {
+				b.ReportMetric(n.P99Ns, fmt.Sprintf("node%d-p99-ns", n.Node))
+				b.ReportMetric(float64(n.Shed), fmt.Sprintf("node%d-shed", n.Node))
+				b.ReportMetric(float64(n.Degraded), fmt.Sprintf("node%d-degraded", n.Node))
+			}
 		})
 	}
 }

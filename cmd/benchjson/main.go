@@ -246,7 +246,7 @@ func compareBaseline(rep Report, path string, tol tolerances, stderr io.Writer) 
 // comparison reports must never depend on map iteration order).
 func sortedKeys(m map[string]float64) []string {
 	keys := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { // maporder:ok sorted immediately below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

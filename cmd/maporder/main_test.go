@@ -119,6 +119,84 @@ func f() {
 	}
 }
 
+// The type-checked analysis sees maps however they arrive — function
+// returns, struct fields, parameters, named map types, and declarations
+// in sibling files — not just same-function literals.
+func TestFlagsTypedMapSources(t *testing.T) {
+	code, out := check(t, map[string]string{
+		"a.go": `package p
+type Set map[string]bool
+type box struct{ idx map[int]string }
+func build() map[string]int { return map[string]int{"a": 1} }
+func fromReturn() {
+	for k := range build() {
+		_ = k
+	}
+}
+func fromField(b box) {
+	for k := range b.idx {
+		_ = k
+	}
+}
+func fromParam(m map[int]int) {
+	for k := range m {
+		_ = k
+	}
+}
+func fromNamed(s Set) {
+	for k := range s {
+		_ = k
+	}
+}
+`,
+		"b.go": `package p
+func fromSibling() {
+	for k := range shared {
+		_ = k
+	}
+}
+`,
+		"c.go": `package p
+var shared = map[string]int{}
+`,
+	})
+	if code != 1 {
+		t.Fatalf("exit %d, out %q", code, out)
+	}
+	for _, want := range []string{`"build()"`, `"b.idx"`, `"m"`, `"s"`, `"shared"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing finding for %s in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "5 unannotated") {
+		t.Errorf("want 5 findings, got:\n%s", out)
+	}
+}
+
+// Channels, slices, strings, and integers range deterministically; none
+// may be flagged even when their elements are maps.
+func TestNonMapRangesPass(t *testing.T) {
+	code, out := check(t, map[string]string{"a.go": `package p
+func ok(ch chan int, ms []map[int]int, s string, n int) {
+	for v := range ch {
+		_ = v
+	}
+	for i := range ms {
+		_ = i
+	}
+	for _, r := range s {
+		_ = r
+	}
+	for i := range n {
+		_ = i
+	}
+}
+`})
+	if code != 0 {
+		t.Fatalf("non-map range flagged: %s", out)
+	}
+}
+
 func TestNoArgsExitsTwo(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(nil, &stdout, &stderr); code != 2 {

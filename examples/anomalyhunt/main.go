@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/anomaly"
 	"repro/internal/core"
@@ -33,7 +34,14 @@ func main() {
 
 	// Mode 1: within-group centroid-distance detection, per query type.
 	fmt.Println("per-query anomaly detection (distance from group centroid):")
-	for typ, group := range res.Store.ByType() {
+	byType := res.Store.ByType()
+	types := make([]string, 0, len(byType))
+	for typ := range byType { // maporder:ok sorted immediately below
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		group := byType[typ]
 		if len(group) < 3 {
 			continue
 		}

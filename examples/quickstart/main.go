@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -43,7 +44,14 @@ func main() {
 
 	// Per-type clusters (the structure behind Figure 1's TPCC multi-modal
 	// distribution).
-	for typ, traces := range res.Store.ByType() {
+	byType := res.Store.ByType()
+	types := make([]string, 0, len(byType))
+	for typ := range byType { // maporder:ok sorted immediately below
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		traces := byType[typ]
 		var vals []float64
 		for _, tr := range traces {
 			vals = append(vals, tr.MetricValue(metrics.CPI))

@@ -1,0 +1,285 @@
+// Package causal localizes anomalous distributed requests to a (tier,
+// node, fault-kind) root cause. It compares each request's causal path
+// tree (obs.CausalPath, built by the distributed driver) against
+// baselines taken from a clean run of the same workload, and classifies
+// every step that deviates:
+//
+//   - an execution step whose ns-per-cycle exceeds the clean maximum is a
+//     node slowdown (DVFS stretches wall time at unchanged CPI);
+//   - an execution step whose CPI exceeds the clean maximum is a
+//     pollution burst (inflated misses at unchanged reference rates);
+//   - a hop whose delivery needed timeouts and still took at least the
+//     full retry schedule is a drop if the residual beyond that schedule
+//     looks like a clean draw, and a delay spike if the delivering
+//     attempt itself was slow;
+//   - a hop delivered without timeouts but far beyond the clean maximum
+//     is a delay spike.
+//
+// Every decision is a pure comparison of recorded path state against
+// clean-run statistics — no RNG, no maps in the decision path — so
+// localization is bit-identical across repeats and GOMAXPROCS settings.
+package causal
+
+import (
+	"sort"
+
+	"repro/internal/distributed"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// ExecBaseline summarizes clean-run execution steps of one (request type,
+// tier): the statistics deviations are measured against.
+type ExecBaseline struct {
+	N                             int
+	MeanCPI, MaxCPI               float64
+	MeanNsPerCycle, MaxNsPerCycle float64
+}
+
+// Baseline is the clean-run reference a localizer compares against.
+type Baseline struct {
+	exec map[string][]*ExecBaseline // request type → tier-indexed stats
+	// HopMeanNs/HopMaxNs summarize delivered hop latencies across the
+	// clean run; HopN counts them.
+	HopMeanNs, HopMaxNs float64
+	HopN                int
+}
+
+// NewBaseline builds the reference from a clean run's causal paths.
+func NewBaseline(clean []*distributed.Trace) *Baseline {
+	b := &Baseline{exec: map[string][]*ExecBaseline{}}
+	var hopSum float64
+	for _, t := range clean {
+		t.Path.Walk(func(n *obs.CausalNode) {
+			switch n.Kind {
+			case obs.CausalExec:
+				eb := b.execAt(t.Type, n.Tier)
+				eb.N++
+				eb.MeanCPI += n.CPI()
+				eb.MeanNsPerCycle += n.NsPerCycle()
+				if n.CPI() > eb.MaxCPI {
+					eb.MaxCPI = n.CPI()
+				}
+				if n.NsPerCycle() > eb.MaxNsPerCycle {
+					eb.MaxNsPerCycle = n.NsPerCycle()
+				}
+			case obs.CausalHop:
+				if n.Dur <= 0 {
+					return
+				}
+				b.HopN++
+				hopSum += float64(n.Dur)
+				if float64(n.Dur) > b.HopMaxNs {
+					b.HopMaxNs = float64(n.Dur)
+				}
+			}
+		})
+	}
+	for _, tiers := range b.exec { // maporder:ok per-cell normalization, order-free
+		for _, eb := range tiers {
+			if eb != nil && eb.N > 0 {
+				eb.MeanCPI /= float64(eb.N)
+				eb.MeanNsPerCycle /= float64(eb.N)
+			}
+		}
+	}
+	if b.HopN > 0 {
+		b.HopMeanNs = hopSum / float64(b.HopN)
+	}
+	return b
+}
+
+// execAt returns the (type, tier) cell, growing storage as needed.
+func (b *Baseline) execAt(typ string, tier int) *ExecBaseline {
+	tiers := b.exec[typ]
+	for len(tiers) <= tier {
+		tiers = append(tiers, nil)
+	}
+	if tiers[tier] == nil {
+		tiers[tier] = &ExecBaseline{}
+	}
+	b.exec[typ] = tiers
+	return tiers[tier]
+}
+
+// Exec returns the clean-run execution stats for a (type, tier), nil when
+// the clean run never executed that cell.
+func (b *Baseline) Exec(typ string, tier int) *ExecBaseline {
+	tiers := b.exec[typ]
+	if tier < 0 || tier >= len(tiers) {
+		return nil
+	}
+	return tiers[tier]
+}
+
+// Config sets the localizer's decision headrooms: each threshold is the
+// clean-run statistic times its headroom, so the clean run itself never
+// exceeds one.
+type Config struct {
+	// SlowdownHeadroom gates the ns-per-cycle ratio over the clean maximum
+	// (default 1.15).
+	SlowdownHeadroom float64
+	// CPIHeadroom gates the CPI ratio over the clean maximum (default
+	// 1.15).
+	CPIHeadroom float64
+	// HopHeadroom gates a timeout-free hop's delay ratio over the clean
+	// maximum (default 1.5).
+	HopHeadroom float64
+	// DropResidualFactor bounds, in clean hop means, how much delivery
+	// time beyond the full retry schedule still reads as a clean resend —
+	// within it the hop is a drop, beyond it a delay spike (default 3, the
+	// ~p95 of an exponential).
+	DropResidualFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlowdownHeadroom <= 1 {
+		c.SlowdownHeadroom = 1.15
+	}
+	if c.CPIHeadroom <= 1 {
+		c.CPIHeadroom = 1.15
+	}
+	if c.HopHeadroom <= 1 {
+		c.HopHeadroom = 1.5
+	}
+	if c.DropResidualFactor <= 0 {
+		c.DropResidualFactor = 3
+	}
+	return c
+}
+
+// Localizer classifies requests against a clean-run baseline.
+type Localizer struct {
+	base  *Baseline
+	cfg   Config
+	retry distributed.RetryConfig
+}
+
+// NewLocalizer builds a localizer. retry must be the resolved config the
+// faulted run used (RetryConfig.Resolved), so observed timeouts can be
+// costed back out of hop durations.
+func NewLocalizer(base *Baseline, retry distributed.RetryConfig, cfg Config) *Localizer {
+	return &Localizer{base: base, cfg: cfg.withDefaults(), retry: retry}
+}
+
+// retryOverheadNs is the virtual time the driver itself added before
+// launching the attempt after k timeouts: k per-attempt windows plus the
+// capped exponential backoffs between them.
+func (l *Localizer) retryOverheadNs(k int) float64 {
+	var total float64
+	for i := 0; i < k; i++ {
+		backoff := l.retry.Backoff << uint(i)
+		if backoff > l.retry.BackoffCap {
+			backoff = l.retry.BackoffCap
+		}
+		total += float64(l.retry.HopTimeout) + float64(backoff)
+	}
+	return total
+}
+
+// Localize classifies one request's causal path against the clean
+// baselines. An empty result reads the request as clean; otherwise each
+// cause names a fault class with its node/tier attribution, deduplicated
+// to the strongest claim per (kind, node, tier) and sorted by attribution.
+func (l *Localizer) Localize(t *distributed.Trace) []fault.Cause {
+	if t.Path == nil {
+		return nil
+	}
+	var causes []fault.Cause
+	t.Path.Walk(func(n *obs.CausalNode) {
+		switch n.Kind {
+		case obs.CausalExec:
+			eb := l.base.Exec(t.Type, n.Tier)
+			if eb == nil || eb.N == 0 {
+				return
+			}
+			if eb.MaxCPI > 0 {
+				if r := n.CPI() / eb.MaxCPI; r > l.cfg.CPIHeadroom {
+					causes = append(causes, fault.Cause{
+						Kind: fault.PollutionBurst, Node: n.Node, Tier: n.Tier, Score: r})
+				}
+			}
+			if eb.MaxNsPerCycle > 0 {
+				if r := n.NsPerCycle() / eb.MaxNsPerCycle; r > l.cfg.SlowdownHeadroom {
+					causes = append(causes, fault.Cause{
+						Kind: fault.NodeSlowdown, Node: n.Node, Tier: n.Tier, Score: r})
+				}
+			}
+		case obs.CausalHop:
+			if n.Dur <= 0 || l.base.HopMaxNs <= 0 {
+				return
+			}
+			dur := float64(n.Dur)
+			score := dur / l.base.HopMaxNs
+			if n.Timeouts > 0 {
+				// The hop burned resends. If delivery took at least the
+				// full retry schedule, every earlier attempt vanished —
+				// and a residual the size of a clean draw means the
+				// resend itself flew clean: a drop. A residual far beyond
+				// that means the delivering attempt was slow too: a delay
+				// spike. Deliveries faster than the schedule mean a slow
+				// primary raced its retry, judged like a timeout-free hop.
+				sched := l.retryOverheadNs(n.Timeouts)
+				if dur >= sched {
+					kind := fault.HopDrop
+					if dur-sched > l.base.HopMeanNs*l.cfg.DropResidualFactor {
+						kind = fault.HopDelay
+					}
+					causes = append(causes, fault.Cause{
+						Kind: kind, Node: n.Node, Tier: -1, Score: score})
+					return
+				}
+			}
+			if score > l.cfg.HopHeadroom {
+				causes = append(causes, fault.Cause{
+					Kind: fault.HopDelay, Node: n.Node, Tier: -1, Score: score})
+			}
+		}
+	})
+	return dedupe(causes)
+}
+
+// LocalizeAll runs Localize over a faulted run, keeping only requests
+// with at least one cause.
+func (l *Localizer) LocalizeAll(traces []*distributed.Trace) map[uint64][]fault.Cause {
+	out := map[uint64][]fault.Cause{}
+	for _, t := range traces {
+		if causes := l.Localize(t); len(causes) > 0 {
+			out[t.ID] = causes
+		}
+	}
+	return out
+}
+
+// dedupe keeps the strongest claim per (kind, node, tier) and orders the
+// result by kind, node, tier — a deterministic rendering order.
+func dedupe(causes []fault.Cause) []fault.Cause {
+	if len(causes) == 0 {
+		return nil
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		a, b := causes[i], causes[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Tier != b.Tier {
+			return a.Tier < b.Tier
+		}
+		return a.Score > b.Score
+	})
+	out := causes[:1]
+	for _, c := range causes[1:] {
+		last := &out[len(out)-1]
+		if c.Kind == last.Kind && c.Node == last.Node && c.Tier == last.Tier {
+			if c.Score > last.Score {
+				last.Score = c.Score
+			}
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

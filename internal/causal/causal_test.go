@@ -1,0 +1,207 @@
+package causal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/distributed"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// exec builds an execution step with the given CPI and ns-per-cycle on
+// one million instructions.
+func exec(node, tier int, cpi, npc float64) *obs.CausalNode {
+	const ins = 1_000_000
+	cycles := uint64(cpi * ins)
+	return &obs.CausalNode{
+		Kind: obs.CausalExec, Node: node, Tier: tier,
+		CPUTime: sim.Time(npc * float64(cycles)), Instructions: ins, Cycles: cycles,
+	}
+}
+
+func hop(node, tier int, dur sim.Time, timeouts int) *obs.CausalNode {
+	return &obs.CausalNode{
+		Kind: obs.CausalHop, Node: node, Tier: tier,
+		Dur: dur, Timeouts: timeouts, Retries: timeouts,
+	}
+}
+
+func mkTrace(id uint64, typ string, steps ...*obs.CausalNode) *distributed.Trace {
+	t := &distributed.Trace{ID: id, Type: typ, Path: obs.NewCausalPath(id, typ, 0)}
+	for _, s := range steps {
+		t.Path.Root.Add(s)
+	}
+	return t
+}
+
+// cleanSet is a small clean population: CPI up to 1.5, ns/cycle up to
+// 0.4, hops up to 400µs.
+func cleanSet() []*distributed.Trace {
+	return []*distributed.Trace{
+		mkTrace(1, "browse", exec(0, 0, 1.2, 0.35), hop(1, 1, 200*sim.Microsecond, 0), exec(1, 1, 1.5, 0.40)),
+		mkTrace(2, "browse", exec(0, 0, 1.4, 0.38), hop(1, 1, 400*sim.Microsecond, 0), exec(1, 1, 1.3, 0.36)),
+		mkTrace(3, "bid", exec(2, 2, 1.1, 0.34)),
+	}
+}
+
+// testRetry mirrors the defaults a 200µs-hop cluster resolves to.
+var testRetry = distributed.RetryConfig{
+	Enabled: true, MaxRetries: 3,
+	HopTimeout: 800 * sim.Microsecond,
+	Backoff:    200 * sim.Microsecond,
+	BackoffCap: 1600 * sim.Microsecond,
+}
+
+func localizer(t *testing.T) *Localizer {
+	t.Helper()
+	return NewLocalizer(NewBaseline(cleanSet()), testRetry, Config{})
+}
+
+func TestBaselineStats(t *testing.T) {
+	b := NewBaseline(cleanSet())
+	eb := b.Exec("browse", 0)
+	if eb == nil || eb.N != 2 {
+		t.Fatalf("browse tier 0 baseline: %+v", eb)
+	}
+	if eb.MaxCPI != 1.4 {
+		t.Fatalf("MaxCPI %v, want 1.4", eb.MaxCPI)
+	}
+	if b.Exec("browse", 2) != nil || b.Exec("bid", 0) != nil {
+		t.Fatal("baseline invented cells the clean run never executed")
+	}
+	if b.HopN != 2 || b.HopMaxNs != float64(400*sim.Microsecond) {
+		t.Fatalf("hop stats: n=%d max=%v", b.HopN, b.HopMaxNs)
+	}
+	if b.HopMeanNs != float64(300*sim.Microsecond) {
+		t.Fatalf("hop mean %v, want 300µs", b.HopMeanNs)
+	}
+}
+
+// TestLocalizeCleanIsSilent: the clean population judged against its own
+// baseline yields no causes.
+func TestLocalizeCleanIsSilent(t *testing.T) {
+	l := localizer(t)
+	for _, tr := range cleanSet() {
+		if causes := l.Localize(tr); len(causes) != 0 {
+			t.Fatalf("clean trace %d got causes %v", tr.ID, causes)
+		}
+	}
+}
+
+func TestLocalizeSlowdownVsPollution(t *testing.T) {
+	l := localizer(t)
+	// Stretched ns/cycle at clean CPI: a DVFS slowdown on node 0.
+	slow := mkTrace(10, "browse", exec(0, 0, 1.2, 0.95))
+	causes := l.Localize(slow)
+	if len(causes) != 1 || causes[0].Kind != fault.NodeSlowdown || causes[0].Node != 0 || causes[0].Tier != 0 {
+		t.Fatalf("slowdown causes: %v", causes)
+	}
+	// Inflated CPI at clean ns/cycle: pollution on tier 1.
+	pol := mkTrace(11, "browse", exec(1, 1, 3.0, 0.36))
+	causes = l.Localize(pol)
+	if len(causes) != 1 || causes[0].Kind != fault.PollutionBurst || causes[0].Tier != 1 {
+		t.Fatalf("pollution causes: %v", causes)
+	}
+	// Both at once on the same segment: two distinct claims.
+	both := mkTrace(12, "browse", exec(1, 1, 3.0, 0.95))
+	causes = l.Localize(both)
+	if len(causes) != 2 || causes[0].Kind != fault.NodeSlowdown || causes[1].Kind != fault.PollutionBurst {
+		t.Fatalf("combined causes: %v", causes)
+	}
+}
+
+func TestLocalizeHopRules(t *testing.T) {
+	l := localizer(t)
+	// Timeout-free delivery far beyond the clean max: a delay spike.
+	spike := mkTrace(20, "browse", hop(1, 1, 1500*sim.Microsecond, 0))
+	causes := l.Localize(spike)
+	if len(causes) != 1 || causes[0].Kind != fault.HopDelay || causes[0].Node != 1 || causes[0].Tier != -1 {
+		t.Fatalf("spike causes: %v", causes)
+	}
+	// One timeout, delivery just past the 1000µs retry schedule with a
+	// clean-sized residual: the resend flew clean — a drop.
+	drop := mkTrace(21, "browse", hop(1, 1, 1200*sim.Microsecond, 1))
+	causes = l.Localize(drop)
+	if len(causes) != 1 || causes[0].Kind != fault.HopDrop {
+		t.Fatalf("drop causes: %v", causes)
+	}
+	// One timeout but a residual far beyond a clean draw (schedule 1000µs,
+	// residual 2000µs > 3×300µs mean): the delivering attempt was slow too.
+	slowRetry := mkTrace(22, "browse", hop(1, 1, 3000*sim.Microsecond, 1))
+	causes = l.Localize(slowRetry)
+	if len(causes) != 1 || causes[0].Kind != fault.HopDelay {
+		t.Fatalf("slow-retry causes: %v", causes)
+	}
+	// A timeout whose primary still delivered before the retry schedule,
+	// inside the clean envelope: natural tail latency, no claim.
+	natural := mkTrace(23, "browse", hop(1, 1, 450*sim.Microsecond, 1))
+	if causes = l.Localize(natural); len(causes) != 0 {
+		t.Fatalf("natural timeout causes: %v", causes)
+	}
+	// An undelivered hop (run ended first) never claims.
+	undelivered := mkTrace(24, "browse", hop(1, 1, 0, 2))
+	if causes = l.Localize(undelivered); len(causes) != 0 {
+		t.Fatalf("undelivered hop causes: %v", causes)
+	}
+}
+
+// TestLocalizeUnknownCell: execution in a (type, tier) the clean run never
+// saw cannot be judged — no baseline, no claim.
+func TestLocalizeUnknownCell(t *testing.T) {
+	l := localizer(t)
+	tr := mkTrace(30, "bid", exec(1, 1, 9.0, 2.0))
+	if causes := l.Localize(tr); len(causes) != 0 {
+		t.Fatalf("unknown-cell causes: %v", causes)
+	}
+}
+
+// TestLocalizeDedupe: repeated deviations of the same (kind, node, tier)
+// collapse to the strongest claim, in deterministic order.
+func TestLocalizeDedupe(t *testing.T) {
+	l := localizer(t)
+	tr := mkTrace(40, "browse",
+		exec(0, 0, 1.2, 0.80),
+		exec(0, 0, 1.2, 1.20),
+		hop(1, 1, 1500*sim.Microsecond, 0),
+	)
+	causes := l.Localize(tr)
+	if len(causes) != 2 {
+		t.Fatalf("deduped causes: %v", causes)
+	}
+	if causes[0].Kind != fault.NodeSlowdown || causes[1].Kind != fault.HopDelay {
+		t.Fatalf("cause order: %v", causes)
+	}
+	// The stronger of the two slowdown scores survives: 1.20/0.38 ≈ 3.16.
+	if causes[0].Score < 3 {
+		t.Fatalf("dedupe kept the weaker score: %v", causes[0])
+	}
+}
+
+func TestLocalizeAll(t *testing.T) {
+	l := localizer(t)
+	dirty := []*distributed.Trace{
+		mkTrace(50, "browse", exec(0, 0, 1.2, 0.95)),
+		mkTrace(51, "browse", exec(0, 0, 1.2, 0.35)), // clean
+	}
+	out := l.LocalizeAll(dirty)
+	if len(out) != 1 || len(out[50]) != 1 {
+		t.Fatalf("LocalizeAll: %v", out)
+	}
+}
+
+// TestCausalPathString pins the rendering's shape (the golden corpus never
+// embeds paths, but debugging output must stay deterministic).
+func TestCausalPathString(t *testing.T) {
+	tr := mkTrace(60, "browse",
+		hop(1, 1, 200*sim.Microsecond, 1),
+		exec(1, 1, 1.2, 0.35),
+	)
+	s := tr.Path.String()
+	for _, want := range []string{"request 60 (browse)", "hop node=1 tier=1", "timeouts=1", "exec node=1 tier=1", "cpi=1.200"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("path rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -67,6 +67,13 @@ type RetryConfig struct {
 	HedgeAfter sim.Time
 }
 
+// Resolved returns the config with defaults filled in for the given
+// network — the values a cluster built from it actually runs with, which
+// is what a localizer needs to cost out observed retry overhead.
+func (r RetryConfig) Resolved(net NetworkConfig) RetryConfig {
+	return r.withDefaults(net)
+}
+
 func (r RetryConfig) withDefaults(net NetworkConfig) RetryConfig {
 	if !r.Enabled {
 		return r
@@ -328,6 +335,11 @@ type Trace struct {
 	// Retries, Hedges, and Timeouts count the robustness events this
 	// request needed.
 	Retries, Hedges, Timeouts int
+	// Path is the request's causal path tree: every hop and execution
+	// segment in virtual-event order, with node/tier attribution and the
+	// robustness events each step observed. Built without RNG draws, so it
+	// never perturbs the run it describes.
+	Path *obs.CausalPath
 }
 
 // CPUTime sums CPU execution across all machines.
@@ -405,6 +417,7 @@ func (c *Cluster) Submit(req *workload.Request) {
 			App:   req.App,
 			Type:  req.Type,
 			Start: c.eng.Now(),
+			Path:  obs.NewCausalPath(req.ID, req.Type, c.eng.Now()),
 		},
 		segments:  splitSegments(req),
 		typeIndex: req.TypeIndex,
@@ -443,11 +456,20 @@ type hopState struct {
 	start     sim.Time
 	delivered bool
 	timeout   *sim.Event
+	// pnode is the hop's step in the request's causal path tree.
+	pnode *obs.CausalNode
 }
 
 // sendHop launches the network delivery of segment seg to node to.
 func (c *Cluster) sendHop(p *pending, seg, to int, hedge bool) {
 	h := &hopState{p: p, seg: seg, to: to, hedge: hedge, start: c.eng.Now()}
+	h.pnode = p.trace.Path.Root.Add(&obs.CausalNode{
+		Kind:   obs.CausalHop,
+		Node:   to,
+		Tier:   p.segments[seg].tier,
+		Start:  h.start,
+		Hedged: hedge,
+	})
 	c.attemptHop(h)
 }
 
@@ -501,6 +523,7 @@ func (c *Cluster) deliverHop(h *hopState) {
 		h.timeout = nil
 	}
 	netDelay := c.eng.Now() - h.start
+	h.pnode.Dur = netDelay
 	c.cobs.hops.Observe(netDelay)
 	c.dispatch(h.p, h.seg, h.to, netDelay, h.hedge)
 }
@@ -514,6 +537,8 @@ func (c *Cluster) hopTimeout(h *hopState) {
 	h.timeout = nil
 	c.cobs.timeouts.Add(1)
 	h.p.trace.Timeouts++
+	h.pnode.Timeouts++
+	h.pnode.Retries++
 	backoff := c.retry.Backoff << uint(h.attempt)
 	if backoff > c.retry.BackoffCap {
 		backoff = c.retry.BackoffCap
@@ -637,9 +662,22 @@ func (c *Cluster) segmentDone(node *Node) func(run *kernel.RequestRun) {
 			NetworkDelay: exp.delay,
 			Hedged:       exp.hedge,
 		})
+		totals := tr.Totals()
+		p.trace.Path.Root.Add(&obs.CausalNode{
+			Kind:         obs.CausalExec,
+			Node:         node.idx,
+			Tier:         seg.tier,
+			Start:        tr.Start,
+			Dur:          tr.End - tr.Start,
+			Hedged:       exp.hedge,
+			CPUTime:      tr.CPUTime(),
+			Instructions: totals.Instructions,
+			Cycles:       totals.Cycles,
+		})
 		p.next++
 		if p.next >= len(p.segments) {
 			p.trace.End = c.eng.Now()
+			p.trace.Path.Root.Dur = p.trace.End - p.trace.Start
 			c.inflight--
 			if c.done != nil {
 				c.done(p.trace)

@@ -194,7 +194,7 @@ func FaultAnomaly(cfg Config) (*FaultAnomalyResult, error) {
 	modeler := core.NewModeler("rubis", cleanMerged)
 	det := &anomaly.Detector{BucketIns: modeler.BucketIns, Measure: modeler.DTWPenalized()}
 	thresholds := map[string]float64{}
-	for typ, group := range cleanGroups {
+	for typ, group := range cleanGroups { // maporder:ok per-key threshold writes, order-free
 		if len(group) < 5 {
 			continue
 		}
@@ -210,7 +210,7 @@ func FaultAnomaly(cfg Config) (*FaultAnomalyResult, error) {
 		}
 	}
 	types := make([]string, 0, len(dirtyGroups))
-	for typ := range dirtyGroups {
+	for typ := range dirtyGroups { // maporder:ok sorted immediately below
 		types = append(types, typ)
 	}
 	sort.Strings(types)

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestFaultLocalizeReport(t *testing.T) {
+	r, err := FaultLocalize(Config{Seed: 1, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheduled == 0 || r.Impacts == 0 {
+		t.Fatalf("no faults scheduled/applied: %+v", r)
+	}
+	if r.Localized == 0 {
+		t.Fatal("localizer claimed no causes on the faulted run")
+	}
+	// The baselines come from the clean run itself: self-claims must stay
+	// a small fraction of it.
+	if r.CleanCauses*10 > r.Requests {
+		t.Fatalf("localizer claimed %d/%d clean-run requests", r.CleanCauses, r.Requests)
+	}
+	if r.Eval.MacroF1() <= 0.5 {
+		t.Fatalf("macro F1 too low: %.3f", r.Eval.MacroF1())
+	}
+	// The pollution and slowdown detectors ride clean physical signatures
+	// (CPI vs ns-per-cycle); both classes must localize well.
+	if e := r.Eval.Kinds[3]; e.F1 < 0.8 { // PollutionBurst
+		t.Fatalf("pollution localization F1 %.3f: %+v", e.F1, e)
+	}
+	if e := r.Eval.Kinds[0]; e.F1 < 0.8 { // NodeSlowdown
+		t.Fatalf("slowdown localization F1 %.3f: %+v", e.F1, e)
+	}
+	// Attribution among TPs is the tentpole claim: (tier, node, kind).
+	if r.Eval.NodeTotal == 0 || r.Eval.NodeHits*2 < r.Eval.NodeTotal {
+		t.Fatalf("node attribution %d/%d", r.Eval.NodeHits, r.Eval.NodeTotal)
+	}
+	out := r.String()
+	for _, want := range []string{"fault class", "precision", "recall", "macro F1", "attribution", "node-slowdown", "pollution-burst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultLocalizeSeedFingerprint pins the seed-determinism contract the
+// golden tiers rely on: the rendered report's hash is identical across
+// repeats and across GOMAXPROCS 1 and 4 for every seed tried.
+func TestFaultLocalizeSeedFingerprint(t *testing.T) {
+	fingerprint := func(seed int64) string {
+		r, err := FaultLocalize(Config{Seed: seed, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%x", sha256.Sum256([]byte(r.String())))
+	}
+	for _, seed := range []int64{1, 2, 5} {
+		want := fingerprint(seed)
+		for _, procs := range []int{1, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := fingerprint(seed)
+			runtime.GOMAXPROCS(prev)
+			if got != want {
+				t.Fatalf("seed %d: fingerprint diverged at GOMAXPROCS %d", seed, procs)
+			}
+		}
+	}
+}

@@ -55,7 +55,7 @@ func Figure8(cfg Config) (*Figure8Result, error) {
 		// break identically on every run (map iteration order must never
 		// reach a result).
 		names := make([]string, 0, len(groups))
-		for g := range groups {
+		for g := range groups { // maporder:ok sorted immediately below
 			names = append(names, g)
 		}
 		sort.Strings(names)

@@ -62,6 +62,7 @@ func Registry() []Experiment {
 		def("faultanomaly", FaultAnomaly),
 		def("serve", Serve),
 		def("fleet", Fleet),
+		def("faultlocalize", FaultLocalize),
 	}
 }
 

@@ -58,7 +58,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 	// reported subset is sorted so the output never depends on map
 	// iteration order (caught by the golden-fingerprint corpus).
 	selected := train.Trainer.Select(4, 20)
-	for name := range selected {
+	for name := range selected { // maporder:ok sorted immediately below
 		out.Selected = append(out.Selected, name)
 	}
 	sort.Strings(out.Selected)

@@ -332,14 +332,14 @@ type Eval struct {
 // perfect 1 (nothing to find, nothing claimed).
 func Evaluate(predicted, truth map[uint64]bool) Eval {
 	var e Eval
-	for id := range predicted {
+	for id := range predicted { // maporder:ok per-key tally, order-free sum
 		if truth[id] {
 			e.TruePositives++
 		} else {
 			e.FalsePositives++
 		}
 	}
-	for id := range truth {
+	for id := range truth { // maporder:ok per-key tally, order-free sum
 		if !predicted[id] {
 			e.FalseNegatives++
 		}

@@ -1,0 +1,142 @@
+// Localization scoring: fault.Evaluate extended from "was this request
+// anomalous?" to "which (tier, node, fault class) caused it?". A localizer
+// (package causal) emits per-request Cause claims; EvaluateLocalization
+// scores them per fault class against the schedule's recorded Impacts,
+// and separately scores node/tier attribution among the true positives.
+package fault
+
+import "fmt"
+
+// NumKinds is the number of fault classes; it sizes per-kind arrays so
+// per-class results never pass through map iteration order.
+const NumKinds = 4
+
+// Cause is one localized root-cause claim for a request: the fault class
+// plus its node/tier attribution.
+type Cause struct {
+	Kind Kind
+	// Node is the blamed machine (-1 when the claim carries no node).
+	Node int
+	// Tier is the blamed application tier (-1 when the claim carries no
+	// tier — hop faults blame a link, not a tier).
+	Tier int
+	// Score is the deviation ratio over the clean-run baseline that
+	// triggered the claim (> 1 by construction).
+	Score float64
+}
+
+func (c Cause) String() string {
+	return fmt.Sprintf("%s node=%d tier=%d score=%.2f", c.Kind, c.Node, c.Tier, c.Score)
+}
+
+// LocalizationEval scores cause localization per fault class, plus
+// node/tier attribution accuracy among the true positives.
+type LocalizationEval struct {
+	// Kinds is indexed by Kind: each class's precision/recall/F1 over
+	// (request, class) pairs.
+	Kinds [NumKinds]Eval
+	// NodeHits / NodeTotal: among true-positive (request, class) pairs
+	// whose ground truth names a node, how many claims blamed a right one.
+	// TierHits / TierTotal likewise for tier-attributed ground truth.
+	NodeHits, NodeTotal int
+	TierHits, TierTotal int
+}
+
+// MacroF1 averages F1 over the classes present in the ground truth.
+func (e LocalizationEval) MacroF1() float64 {
+	sum, n := 0.0, 0
+	for _, ev := range e.Kinds {
+		if ev.TruePositives+ev.FalseNegatives > 0 {
+			sum += ev.F1
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// EvaluateLocalization scores predicted per-request causes against the
+// recorded ground-truth impacts. Every (request, class) pair claimed or
+// recorded counts once, however many windows or path steps produced it.
+func EvaluateLocalization(predicted map[uint64][]Cause, impacts []Impact) LocalizationEval {
+	var truth, pred [NumKinds]map[uint64]bool
+	for k := range truth {
+		truth[k], pred[k] = map[uint64]bool{}, map[uint64]bool{}
+	}
+	for _, im := range impacts {
+		if im.Kind >= 0 && int(im.Kind) < NumKinds {
+			truth[im.Kind][im.RequestID] = true
+		}
+	}
+	for id, causes := range predicted { // maporder:ok per-key set fill, order-free
+		for _, c := range causes {
+			if c.Kind >= 0 && int(c.Kind) < NumKinds {
+				pred[c.Kind][id] = true
+			}
+		}
+	}
+	var e LocalizationEval
+	for k := range e.Kinds {
+		e.Kinds[k] = Evaluate(pred[k], truth[k])
+	}
+
+	// Attribution among true positives. A pair may carry several truth
+	// windows (and several claims): it hits when any claim of the class
+	// names any truth node/tier — counted once per pair, accumulated as
+	// order-independent sums.
+	type pair struct {
+		id uint64
+		k  Kind
+	}
+	seen := map[pair]bool{}
+	for _, im := range impacts {
+		if im.Kind < 0 || int(im.Kind) >= NumKinds {
+			continue
+		}
+		key := pair{im.RequestID, im.Kind}
+		if seen[key] || !pred[im.Kind][im.RequestID] {
+			continue
+		}
+		seen[key] = true
+		var truthNodes, truthTiers []int
+		for _, o := range impacts {
+			if o.RequestID != im.RequestID || o.Kind != im.Kind {
+				continue
+			}
+			if o.Node >= 0 {
+				truthNodes = append(truthNodes, o.Node)
+			}
+			if o.Tier >= 0 {
+				truthTiers = append(truthTiers, o.Tier)
+			}
+		}
+		match := func(want []int, get func(Cause) int) bool {
+			for _, c := range predicted[im.RequestID] {
+				if c.Kind != im.Kind {
+					continue
+				}
+				for _, w := range want {
+					if get(c) == w {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if len(truthNodes) > 0 {
+			e.NodeTotal++
+			if match(truthNodes, func(c Cause) int { return c.Node }) {
+				e.NodeHits++
+			}
+		}
+		if len(truthTiers) > 0 {
+			e.TierTotal++
+			if match(truthTiers, func(c Cause) int { return c.Tier }) {
+				e.TierHits++
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEvaluateLocalizationPerClass pins per-class precision/recall/F1 on a
+// hand-built fixture with known ground truth:
+//
+//	truth: slowdown hit requests 1,2,3 (node 0); pollution hit 2 (node 1,
+//	tier 2); drops hit 4 (node 2)
+//	claims: slowdown on 1,2 (right) and 9 (false alarm); pollution on 2;
+//	nothing claims the drop
+func TestEvaluateLocalizationPerClass(t *testing.T) {
+	impacts := []Impact{
+		{RequestID: 1, Kind: NodeSlowdown, Node: 0, Tier: 0},
+		{RequestID: 2, Kind: NodeSlowdown, Node: 0, Tier: 1},
+		{RequestID: 3, Kind: NodeSlowdown, Node: 0, Tier: 0},
+		{RequestID: 2, Kind: PollutionBurst, Node: 1, Tier: 2},
+		{RequestID: 4, Kind: HopDrop, Node: 2, Tier: -1},
+	}
+	pred := map[uint64][]Cause{
+		1: {{Kind: NodeSlowdown, Node: 0, Tier: 0, Score: 2}},
+		2: {
+			{Kind: NodeSlowdown, Node: 0, Tier: 1, Score: 2},
+			{Kind: PollutionBurst, Node: 1, Tier: 2, Score: 3},
+		},
+		9: {{Kind: NodeSlowdown, Node: 2, Tier: 0, Score: 1.5}},
+	}
+	e := EvaluateLocalization(pred, impacts)
+
+	slow := e.Kinds[NodeSlowdown]
+	if slow.TruePositives != 2 || slow.FalsePositives != 1 || slow.FalseNegatives != 1 {
+		t.Fatalf("slowdown counts: %+v", slow)
+	}
+	if math.Abs(slow.Precision-2.0/3) > 1e-12 || math.Abs(slow.Recall-2.0/3) > 1e-12 {
+		t.Fatalf("slowdown P/R: %+v", slow)
+	}
+	pol := e.Kinds[PollutionBurst]
+	if pol.TruePositives != 1 || pol.FalsePositives != 0 || pol.FalseNegatives != 0 {
+		t.Fatalf("pollution counts: %+v", pol)
+	}
+	if pol.Precision != 1 || pol.Recall != 1 || pol.F1 != 1 {
+		t.Fatalf("pollution P/R/F1: %+v", pol)
+	}
+	drop := e.Kinds[HopDrop]
+	if drop.TruePositives != 0 || drop.FalseNegatives != 1 || drop.Recall != 0 {
+		t.Fatalf("drop counts: %+v", drop)
+	}
+	// HopDelay: empty truth, empty claims — the perfect-score convention.
+	if d := e.Kinds[HopDelay]; d.Precision != 1 || d.Recall != 1 || d.F1 != 1 {
+		t.Fatalf("delay empty-set convention: %+v", d)
+	}
+
+	// Attribution: three TP pairs ((1,slow), (2,slow), (2,pollution)),
+	// every one carrying node and tier ground truth; all claims name the
+	// right node and tier.
+	if e.NodeTotal != 3 || e.NodeHits != 3 {
+		t.Fatalf("node attribution %d/%d, want 3/3", e.NodeHits, e.NodeTotal)
+	}
+	if e.TierTotal != 3 || e.TierHits != 3 {
+		t.Fatalf("tier attribution %d/%d, want 3/3", e.TierHits, e.TierTotal)
+	}
+
+	// MacroF1 averages the three classes present in truth (delay absent).
+	want := (slow.F1 + pol.F1 + drop.F1) / 3
+	if math.Abs(e.MacroF1()-want) > 1e-12 {
+		t.Fatalf("MacroF1 %v, want %v", e.MacroF1(), want)
+	}
+}
+
+// TestEvaluateLocalizationAttributionMiss: a claim of the right class on
+// the right request but the wrong node counts as a class TP that misses
+// attribution.
+func TestEvaluateLocalizationAttributionMiss(t *testing.T) {
+	impacts := []Impact{
+		{RequestID: 7, Kind: NodeSlowdown, Node: 1, Tier: 0},
+		{RequestID: 7, Kind: NodeSlowdown, Node: 1, Tier: 1},
+	}
+	pred := map[uint64][]Cause{
+		7: {{Kind: NodeSlowdown, Node: 2, Tier: 0, Score: 2}},
+	}
+	e := EvaluateLocalization(pred, impacts)
+	if got := e.Kinds[NodeSlowdown]; got.TruePositives != 1 || got.FalsePositives != 0 {
+		t.Fatalf("class counts: %+v", got)
+	}
+	// The pair is counted once despite two truth windows.
+	if e.NodeTotal != 1 || e.NodeHits != 0 {
+		t.Fatalf("node attribution %d/%d, want 0/1", e.NodeHits, e.NodeTotal)
+	}
+	// Tier truth present (0 and 1); the claim's tier 0 matches one window.
+	if e.TierTotal != 1 || e.TierHits != 1 {
+		t.Fatalf("tier attribution %d/%d, want 1/1", e.TierHits, e.TierTotal)
+	}
+}
+
+// TestEvaluateLocalizationEmpty: no truth and no claims score perfectly in
+// every class.
+func TestEvaluateLocalizationEmpty(t *testing.T) {
+	e := EvaluateLocalization(nil, nil)
+	for k, ev := range e.Kinds {
+		if ev.Precision != 1 || ev.Recall != 1 || ev.F1 != 1 {
+			t.Fatalf("kind %v: %+v", Kind(k), ev)
+		}
+	}
+	if e.MacroF1() != 1 {
+		t.Fatalf("MacroF1 %v, want 1", e.MacroF1())
+	}
+	if e.NodeTotal != 0 || e.TierTotal != 0 {
+		t.Fatalf("attribution totals on empty input: %+v", e)
+	}
+}

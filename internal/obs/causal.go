@@ -1,0 +1,157 @@
+// Per-request causal path trees. The aggregated span tree (obs.go)
+// answers "where does wall time go across the run"; a CausalPath answers
+// it for ONE request: every network hop and every per-node execution
+// segment the request passed through, with hop/tier/node attribution and
+// the robustness events (retries, timeouts, hedges) observed along the
+// way. The distributed driver builds one per trace in virtual-event
+// order — no RNG draws, no wall-clock reads — so paths are bit-identical
+// across repeats and GOMAXPROCS settings, and a localizer can compare a
+// faulted request's path against clean-run baselines (package causal).
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// CausalKind classifies one node of a causal path tree.
+type CausalKind int
+
+const (
+	// CausalRequest is the root: the request end to end.
+	CausalRequest CausalKind = iota
+	// CausalHop is one network delivery of a segment to its node, across
+	// however many attempts it needed.
+	CausalHop
+	// CausalExec is one segment's execution on a node.
+	CausalExec
+)
+
+func (k CausalKind) String() string {
+	switch k {
+	case CausalRequest:
+		return "request"
+	case CausalHop:
+		return "hop"
+	case CausalExec:
+		return "exec"
+	default:
+		return fmt.Sprintf("CausalKind(%d)", int(k))
+	}
+}
+
+// CausalNode is one step of a request's causal path.
+type CausalNode struct {
+	Kind CausalKind
+	// Node is the machine index the step is attributed to (-1 at the root).
+	Node int
+	// Tier is the application tier the step serves (-1 at the root).
+	Tier int
+	// Start and Dur bound the step on the virtual clock. A hop's Dur spans
+	// first send to first successful delivery, retry overhead included; a
+	// hop that never delivered before the run ended keeps Dur 0.
+	Start, Dur sim.Time
+	// Retries and Timeouts count the delivery attempts this hop burned;
+	// Hedged marks a hedge duplicate's hop or a hedge winner's execution.
+	Retries, Timeouts int
+	Hedged            bool
+	// Execution accounting (CausalExec only): CPU time on the node and the
+	// hardware counters the tracker observed.
+	CPUTime      sim.Time
+	Instructions uint64
+	Cycles       uint64
+
+	Children []*CausalNode
+}
+
+// CPI is the step's cycles per retired instruction (0 without execution).
+func (n *CausalNode) CPI() float64 {
+	if n.Instructions == 0 {
+		return 0
+	}
+	return float64(n.Cycles) / float64(n.Instructions)
+}
+
+// NsPerCycle is CPU nanoseconds per cycle — the inverse effective clock
+// rate. A DVFS slowdown stretches it; cache pollution inflates cycles and
+// CPU time together and leaves it flat, which is what lets a localizer
+// tell the two apart. 0 without execution.
+func (n *CausalNode) NsPerCycle() float64 {
+	if n.Cycles == 0 {
+		return 0
+	}
+	return float64(n.CPUTime) / float64(n.Cycles)
+}
+
+// Add appends a child and returns it.
+func (n *CausalNode) Add(child *CausalNode) *CausalNode {
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// Walk visits the subtree rooted at n in depth-first insertion order —
+// virtual-event order, since the driver appends as events fire.
+func (n *CausalNode) Walk(fn func(*CausalNode)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// CausalPath is one request's causal path tree.
+type CausalPath struct {
+	RequestID uint64
+	Type      string
+	Root      *CausalNode
+}
+
+// NewCausalPath roots a path at the request's submission.
+func NewCausalPath(id uint64, typ string, start sim.Time) *CausalPath {
+	return &CausalPath{
+		RequestID: id,
+		Type:      typ,
+		Root:      &CausalNode{Kind: CausalRequest, Node: -1, Tier: -1, Start: start},
+	}
+}
+
+// Walk visits the whole path in virtual-event order.
+func (p *CausalPath) Walk(fn func(*CausalNode)) {
+	if p == nil || p.Root == nil {
+		return
+	}
+	p.Root.Walk(fn)
+}
+
+// String renders the path as an indented tree, one deterministic line per
+// step.
+func (p *CausalPath) String() string {
+	if p == nil || p.Root == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "request %d (%s)\n", p.RequestID, p.Type)
+	var walk func(n *CausalNode, depth int)
+	walk = func(n *CausalNode, depth int) {
+		if n != p.Root {
+			b.WriteString(strings.Repeat("  ", depth))
+			fmt.Fprintf(&b, "%s node=%d tier=%d start=%v dur=%v", n.Kind, n.Node, n.Tier, n.Start, n.Dur)
+			if n.Retries > 0 || n.Timeouts > 0 {
+				fmt.Fprintf(&b, " retries=%d timeouts=%d", n.Retries, n.Timeouts)
+			}
+			if n.Hedged {
+				b.WriteString(" hedged")
+			}
+			if n.Kind == CausalExec {
+				fmt.Fprintf(&b, " cpu=%v ins=%d cpi=%.3f", n.CPUTime, n.Instructions, n.CPI())
+			}
+			b.WriteByte('\n')
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return b.String()
+}

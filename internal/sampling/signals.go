@@ -67,7 +67,7 @@ func (t *SignalTrainer) Record(name string, delta float64) {
 // Table 2's presentation order (most significant transition signals first).
 func (t *SignalTrainer) Stats() []SignalStat {
 	out := make([]SignalStat, 0, len(t.stats))
-	for name, w := range t.stats {
+	for name, w := range t.stats { // maporder:ok fully sorted immediately below
 		out = append(out, SignalStat{Name: name, Mean: w.mean, Std: w.std(), N: w.n})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -52,11 +52,12 @@ type req struct {
 // from which compaction rematerializes the full pattern (a pure function
 // of these fields and the template library).
 type winRec struct {
-	app   int32
-	tmpl  int32
-	anom  bool
-	drift float64
-	cpuNs float64
+	app    int32
+	tmpl   int32
+	cohort int32 // arrival cohort (always 0 on the single-node engine)
+	anom   bool
+	drift  float64
+	cpuNs  float64
 }
 
 // shardTally is one shard's per-tick outcome counts, merged serially in

@@ -74,6 +74,14 @@ type FleetConfig struct {
 	// QueueCap is each core's queue capacity; an arrival routed to a full
 	// core is shed.
 	QueueCap int
+	// DegradeDepth is the core queue depth at which newly admitted
+	// requests degrade to cached-template serving: a constant
+	// CostDegradedNs drain instead of instruction execution (the
+	// single-node engine's overload tier, per core).
+	DegradeDepth int
+	// CostDegradedNs is the constant virtual cost of draining one
+	// degraded request.
+	CostDegradedNs int64
 
 	// TemplatesPerApp and MaxPatternLen size the behavior template
 	// libraries (see the single-node engine).
@@ -147,6 +155,8 @@ func DefaultFleetConfig(seed int64) FleetConfig {
 		Nodes:               DefaultFleet(),
 		TickNs:              1e6,
 		QueueCap:            256,
+		DegradeDepth:        192,
+		CostDegradedNs:      300,
 		TemplatesPerApp:     24,
 		MaxPatternLen:       256,
 		WindowSize:          512,
@@ -182,6 +192,12 @@ func (c FleetConfig) normalize() (FleetConfig, error) {
 	}
 	if c.QueueCap <= 0 {
 		return c, fmt.Errorf("serve: FleetConfig.QueueCap must be positive, got %d", c.QueueCap)
+	}
+	if c.DegradeDepth <= 0 || c.DegradeDepth > c.QueueCap {
+		return c, fmt.Errorf("serve: FleetConfig.DegradeDepth must be in (0, QueueCap], got %d", c.DegradeDepth)
+	}
+	if c.CostDegradedNs <= 0 {
+		return c, fmt.Errorf("serve: FleetConfig.CostDegradedNs must be positive, got %d", c.CostDegradedNs)
 	}
 	if c.TemplatesPerApp <= 0 {
 		return c, fmt.Errorf("serve: FleetConfig.TemplatesPerApp must be positive, got %d", c.TemplatesPerApp)
@@ -225,8 +241,10 @@ type fleetReq struct {
 	cpuNs     float64 // solo CPU estimate (classification + window record)
 	app       int32
 	tmpl      int32
+	cohort    int32
 	anom      bool
 	predHigh  bool
+	degraded  bool
 }
 
 // fleetCore is one core's FIFO queue plus its tick-rate snapshot.
@@ -306,9 +324,14 @@ type Fleet struct {
 	pkgs   []*fleetPkg  // all packages, node order — the parallel work units
 	penCfg cache.Config // bandwidth-penalty knobs (machine defaults)
 
-	// fleetThresholdNs classifies predicted high usage at admission; it
-	// starts at the template median and refreshes at every merge.
-	fleetThresholdNs float64
+	// fleetThresholds classifies predicted high usage at admission, one
+	// threshold per arrival cohort (index 0 when cohorts are disabled).
+	// Every entry starts at the template median; at each merge the
+	// thresholds refresh from per-cohort medians of the fleet's window
+	// records, so a cohort whose drift inflates its costs is judged
+	// against its own population rather than the fleet-wide one.
+	fleetThresholds []float64
+	cohortCPUs      [][]float64 // per-cohort merge scratch
 
 	pending     workload.Arrival
 	havePending bool
@@ -336,8 +359,8 @@ type Fleet struct {
 	claim   atomic.Int64
 	closed  bool
 
-	cArrivals, cShed, cCompleted *obs.Counter
-	cFlagged, cMerges            *obs.Counter
+	cArrivals, cShed, cDegraded, cCompleted *obs.Counter
+	cFlagged, cMerges                       *obs.Counter
 }
 
 // NewFleet builds the fleet: per-node topologies, template libraries,
@@ -421,7 +444,18 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		n.hist = obs.NewHistogram(fmt.Sprintf("fleet.node%d.latency.ns", ni))
 		f.nodes = append(f.nodes, n)
 	}
-	f.fleetThresholdNs = f.nodes[0].bank.ThresholdNs
+	nc := cfg.Stream.Cohorts
+	if nc < 1 {
+		nc = 1
+	}
+	f.fleetThresholds = make([]float64, nc)
+	for i := range f.fleetThresholds {
+		f.fleetThresholds[i] = f.nodes[0].bank.ThresholdNs
+	}
+	f.cohortCPUs = make([][]float64, nc)
+	for i := range f.cohortCPUs {
+		f.cohortCPUs[i] = make([]float64, 0, len(f.nodes)*cfg.WindowSize)
+	}
 	f.fleetHist = obs.NewHistogram("fleet.latency.ns")
 	f.res.Policy = cfg.Policy.String()
 
@@ -448,6 +482,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		f.cArrivals = c.Counter("fleet.arrivals")
 		f.cShed = c.Counter("fleet.shed")
+		f.cDegraded = c.Counter("fleet.degraded")
 		f.cCompleted = c.Counter("fleet.completed")
 		f.cFlagged = c.Counter("fleet.flagged")
 		f.cMerges = c.Counter("fleet.merges")
@@ -583,7 +618,8 @@ func (f *Fleet) ingest(tickEnd int64) int {
 		tmpls := f.tmpl[a.App]
 		t := int((a.Bits >> 8) % uint64(len(tmpls)))
 		anom := isAnomalous(a.Bits)
-		drift := f.stream.CohortDriftAt(a.TimeNs, f.cfg.Stream.CohortOf(a.Bits))
+		cohort := f.cfg.Stream.CohortOf(a.Bits)
+		drift := f.stream.CohortDriftAt(a.TimeNs, cohort)
 		cpu := tmpls[t].cpuNs * drift
 		if anom {
 			cpu *= anomalyCPUFactor
@@ -597,8 +633,9 @@ func (f *Fleet) ingest(tickEnd int64) int {
 			cpuNs:     cpu,
 			app:       int32(a.App),
 			tmpl:      int32(t),
+			cohort:    int32(cohort),
 			anom:      anom,
-			predHigh:  cpu > f.fleetThresholdNs,
+			predHigh:  cpu > f.fleetThresholds[cohort],
 		}
 		f.nextID++
 		node, core := f.place(&r)
@@ -606,8 +643,15 @@ func (f *Fleet) ingest(tickEnd int64) int {
 		c := &nd.cores[core]
 		if len(c.q) == cap(c.q) {
 			f.res.Shed++
+			nd.res.Shed++
 			f.cShed.Add(1)
 			continue
+		}
+		if len(c.q) >= f.cfg.DegradeDepth {
+			r.degraded = true
+			f.res.Degraded++
+			nd.res.Degraded++
+			f.cDegraded.Add(1)
 		}
 		c.q = append(c.q, r)
 		if r.predHigh {
@@ -755,6 +799,18 @@ func (f *Fleet) processPkg(pkg *fleetPkg) {
 		budget := float64(f.cfg.TickNs)
 		for i := range c.q {
 			r := &c.q[i]
+			if r.degraded {
+				// Cached-template serving: a constant drain cost, no
+				// instruction execution and no CPI contribution.
+				if cost := float64(f.cfg.CostDegradedNs); cost > budget {
+					break
+				} else {
+					budget -= cost
+				}
+				r.remIns = 0
+				f.completeFleet(pkg, nd, r, f.nowNs+f.cfg.TickNs-int64(budget))
+				continue
+			}
 			need := r.remIns / c.insPerNs
 			if need > budget {
 				done := budget * c.insPerNs
@@ -795,7 +851,9 @@ func (f *Fleet) completeFleet(pkg *fleetPkg, nd *fleetNode, r *fleetReq, doneNs 
 	}
 	nd.hist.Observe(lat)
 	f.fleetHist.Observe(lat)
-	if r.id%uint64(f.cfg.ScoreSampleEvery) == 0 {
+	// Degraded requests skip identification entirely — that is what the
+	// degraded tier buys — so they are never scored or flagged.
+	if !r.degraded && r.id%uint64(f.cfg.ScoreSampleEvery) == 0 {
 		tm := f.tmpl[r.app][r.tmpl].pattern
 		buf := pkg.patBuf[:0]
 		for j := range tm {
@@ -813,7 +871,7 @@ func (f *Fleet) completeFleet(pkg *fleetPkg, nd *fleetNode, r *fleetReq, doneNs 
 		}
 	}
 	pkg.winBuf = append(pkg.winBuf, winRec{
-		app: r.app, tmpl: r.tmpl, anom: r.anom, drift: r.drift, cpuNs: r.cpuNs,
+		app: r.app, tmpl: r.tmpl, cohort: r.cohort, anom: r.anom, drift: r.drift, cpuNs: r.cpuNs,
 	})
 }
 
@@ -932,7 +990,8 @@ func (n *fleetNode) recalibrateNode(f *Fleet) {
 // union to BankK medoids, and installs the merged bank on every node —
 // the fleet's gossip step, collapsed to one deterministic serial
 // operation. Node thresholds recalibrate against the merged bank, and the
-// fleet-wide high-usage threshold refreshes from the merged CPU median.
+// per-cohort high-usage thresholds refresh from the windows' cohort
+// medians.
 func (f *Fleet) mergeBanks() {
 	var m int
 	for _, n := range f.nodes {
@@ -972,7 +1031,25 @@ func (f *Fleet) mergeBanks() {
 		n.cpus = n.cpus[:0]
 		n.recalibrateNode(f)
 	}
-	f.fleetThresholdNs = f.nodes[0].bank.ThresholdNs
+	// Per-cohort admission thresholds: the median request cost of each
+	// cohort across every node's current window, in node order. Cohorts
+	// with no windowed completions fall back to the merged bank's median.
+	for ci := range f.cohortCPUs {
+		f.cohortCPUs[ci] = f.cohortCPUs[ci][:0]
+	}
+	for _, n := range f.nodes {
+		for i := 0; i < n.winLen; i++ {
+			rec := n.winAtNode(i)
+			f.cohortCPUs[rec.cohort] = append(f.cohortCPUs[rec.cohort], rec.cpuNs)
+		}
+	}
+	for ci := range f.fleetThresholds {
+		if cpus := f.cohortCPUs[ci]; len(cpus) > 0 {
+			f.fleetThresholds[ci] = medianInPlace(cpus)
+		} else {
+			f.fleetThresholds[ci] = f.nodes[0].bank.ThresholdNs
+		}
+	}
 	f.mergeCPUs = f.mergeCPUs[:0]
 	f.mergeApps = f.mergeApps[:0]
 	f.res.Merges++
@@ -1047,6 +1124,8 @@ type NodeResult struct {
 	Cores    int
 
 	Completed       uint64
+	Shed            uint64
+	Degraded        uint64
 	Flagged         uint64
 	FlaggedInjected uint64
 	ScoreSum        float64
@@ -1069,6 +1148,7 @@ type FleetResult struct {
 
 	Arrivals        uint64
 	Shed            uint64
+	Degraded        uint64
 	Injected        uint64
 	Completed       uint64
 	Flagged         uint64
@@ -1093,13 +1173,13 @@ type FleetResult struct {
 func (r FleetResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet run (%s): %d ticks, %.3fs virtual\n", r.Policy, r.Ticks, float64(r.VirtualNs)/1e9)
-	fmt.Fprintf(&b, "  arrivals %d (shed %d), completed %d, in flight %d\n", r.Arrivals, r.Shed, r.Completed, r.Queued)
+	fmt.Fprintf(&b, "  arrivals %d (shed %d, degraded %d), completed %d, in flight %d\n", r.Arrivals, r.Shed, r.Degraded, r.Completed, r.Queued)
 	fmt.Fprintf(&b, "  fleet CPI %.4f, p99 %.3fms\n", r.CPI, r.P99Ns/1e6)
 	fmt.Fprintf(&b, "  anomalies: injected %d, flagged %d (hits %d)\n", r.Injected, r.Flagged, r.FlaggedInjected)
 	fmt.Fprintf(&b, "  banks: %d compaction rounds, %d merges\n", r.CompactionRounds, r.Merges)
 	for _, n := range r.Nodes {
-		fmt.Fprintf(&b, "  node%d %-28s %2d cores: completed %8d  CPI %.4f  p99 %8.3fms  depth %3d  flagged %d\n",
-			n.Node, n.Topology, n.Cores, n.Completed, n.CPI, n.P99Ns/1e6, n.MaxQueueDepth, n.Flagged)
+		fmt.Fprintf(&b, "  node%d %-28s %2d cores: completed %8d  CPI %.4f  p99 %8.3fms  depth %3d  shed %d  degraded %d  flagged %d\n",
+			n.Node, n.Topology, n.Cores, n.Completed, n.CPI, n.P99Ns/1e6, n.MaxQueueDepth, n.Shed, n.Degraded, n.Flagged)
 	}
 	return b.String()
 }

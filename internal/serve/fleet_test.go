@@ -112,6 +112,66 @@ func TestFleetLifecycle(t *testing.T) {
 		if total != res.Completed {
 			t.Fatalf("%v: node completions %d != fleet %d", pol, total, res.Completed)
 		}
+		var shed, deg uint64
+		for _, n := range res.Nodes {
+			shed += n.Shed
+			deg += n.Degraded
+		}
+		if shed != res.Shed || deg != res.Degraded {
+			t.Fatalf("%v: per-node shed/degraded %d/%d != fleet %d/%d",
+				pol, shed, deg, res.Shed, res.Degraded)
+		}
+	}
+}
+
+// TestFleetDegradedTier: with a shallow degrade depth the loaded fleet
+// serves part of the stream from the cached-template tier. Degraded
+// requests still complete — they are drained at constant cost, never
+// dropped — so the arrival accounting is unchanged.
+func TestFleetDegradedTier(t *testing.T) {
+	cfg := smallFleetConfig(13)
+	cfg.DegradeDepth = 2
+	res := runFleet(t, cfg, 40_000)
+	if res.Degraded == 0 {
+		t.Fatal("no requests degraded at DegradeDepth=2")
+	}
+	if res.Completed+res.Shed != res.Arrivals || res.Queued != 0 {
+		t.Fatalf("degraded accounting broken: %+v", res)
+	}
+	deep := smallFleetConfig(13) // same stream, default (deep) degrade depth
+	if ref := runFleet(t, deep, 40_000); res.Degraded <= ref.Degraded {
+		t.Fatalf("shallower depth degraded %d, deeper %d", res.Degraded, ref.Degraded)
+	}
+}
+
+// TestFleetCohortThresholds: admission thresholds are per-cohort. After
+// the banks merge, the cohorts' drift spread pulls their window medians
+// apart, so the refreshed thresholds must not collapse to one fleet-wide
+// value.
+func TestFleetCohortThresholds(t *testing.T) {
+	cfg := smallFleetConfig(17)
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Process(60_000)
+	f.Drain()
+	res := f.Result()
+	if res.Merges == 0 {
+		t.Fatal("fleet never merged")
+	}
+	if len(f.fleetThresholds) != cfg.Stream.Cohorts {
+		t.Fatalf("%d thresholds for %d cohorts", len(f.fleetThresholds), cfg.Stream.Cohorts)
+	}
+	varied := false
+	for _, th := range f.fleetThresholds[1:] {
+		if th != f.fleetThresholds[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatalf("cohort thresholds identical after %d merges: %v", res.Merges, f.fleetThresholds)
 	}
 }
 
@@ -165,6 +225,9 @@ func TestFleetConfigValidation(t *testing.T) {
 		{func(c *FleetConfig) { c.Policy = FleetPolicy(9) }, "FleetConfig.Policy"},
 		{func(c *FleetConfig) { c.TickNs = 0 }, "FleetConfig.TickNs"},
 		{func(c *FleetConfig) { c.QueueCap = -1 }, "FleetConfig.QueueCap"},
+		{func(c *FleetConfig) { c.DegradeDepth = 0 }, "FleetConfig.DegradeDepth"},
+		{func(c *FleetConfig) { c.DegradeDepth = c.QueueCap + 1 }, "FleetConfig.DegradeDepth"},
+		{func(c *FleetConfig) { c.CostDegradedNs = 0 }, "FleetConfig.CostDegradedNs"},
 		{func(c *FleetConfig) { c.WindowSize = 1 }, "FleetConfig.WindowSize"},
 		{func(c *FleetConfig) { c.BankK = 0 }, "FleetConfig.BankK"},
 		{func(c *FleetConfig) { c.MergeEvery = -1 }, "FleetConfig.MergeEvery"},

@@ -143,7 +143,7 @@ func (s *Service) SetMatcher(m *Matcher) {
 		sh.mu.Lock()
 		// Iteration order over the live map is irrelevant: each rebind
 		// touches only its own session, so any order yields the same state.
-		for _, ses := range sh.live {
+		for _, ses := range sh.live { // maporder:ok per-session rebind, order-free
 			ses.Rebind(m)
 		}
 		for _, ses := range sh.free {

@@ -146,7 +146,7 @@ func LoadCorpus(dir string) (*Corpus, error) {
 // Keys returns the corpus's cell keys, sorted.
 func (c *Corpus) Keys() []string {
 	keys := make([]string, 0, len(c.Entries))
-	for k := range c.Entries {
+	for k := range c.Entries { // maporder:ok sorted immediately below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -35,6 +35,7 @@ func Differentials() []Differential {
 		{Name: "signature/service-vs-naive", Check: checkServiceNaive},
 		{Name: "pastrequests/ring-vs-recompute", Check: checkPastRequests},
 		{Name: "fault/evaluate-vs-bruteforce", Check: checkFaultEvaluate},
+		{Name: "causal/localizer-vs-bruteforce", Check: checkCausalLocalize},
 	}
 }
 

@@ -1,0 +1,232 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/causal"
+	"repro/internal/distributed"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// checkCausalLocalize: the localizer's per-request cause attribution must
+// match a brute-force reimplementation that rescans the whole clean
+// population for every decision. Paths are synthesized directly — every
+// classification rule (slowdown, pollution, drop-vs-delay residual,
+// timeout-free spikes, undelivered hops) gets exercised without paying
+// for a cluster run per trial.
+func checkCausalLocalize(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	types := []string{"browse", "bid"}
+
+	mkExec := func(tier int, cpi, npc float64) *obs.CausalNode {
+		const ins = 1_000_000
+		cycles := uint64(cpi * ins)
+		return &obs.CausalNode{
+			Kind: obs.CausalExec, Node: r.Intn(3), Tier: tier,
+			CPUTime:      sim.Time(npc * float64(cycles)),
+			Instructions: ins,
+			Cycles:       cycles,
+			Hedged:       r.Intn(8) == 0,
+		}
+	}
+	mkHop := func(tier int, dur sim.Time, timeouts int) *obs.CausalNode {
+		return &obs.CausalNode{
+			Kind: obs.CausalHop, Node: r.Intn(3), Tier: tier,
+			Dur: dur, Timeouts: timeouts, Retries: timeouts,
+		}
+	}
+	mkTrace := func(id uint64, dirty bool) *distributed.Trace {
+		typ := types[r.Intn(len(types))]
+		t := &distributed.Trace{ID: id, Type: typ, Path: obs.NewCausalPath(id, typ, 0)}
+		for tier := 0; tier < 1+r.Intn(3); tier++ {
+			// Clean envelope: CPI in [1.0, 1.5), ns/cycle in [0.33, 0.40),
+			// hops under 500µs. Dirty traces stray outside it at random.
+			cpi := 1 + 0.5*r.Float64()
+			npc := 0.33 + 0.07*r.Float64()
+			dur := sim.Time(50_000 + r.Intn(450_000))
+			timeouts := 0
+			if dirty {
+				switch r.Intn(5) {
+				case 0:
+					cpi *= 1.5 + 2*r.Float64() // pollution
+				case 1:
+					npc *= 1.5 + r.Float64() // slowdown
+				case 2:
+					dur *= sim.Time(3 + r.Intn(10)) // spike
+				case 3:
+					timeouts = 1 + r.Intn(3) // resends: drop or spiked retry
+					dur += sim.Time(r.Intn(4_000_000))
+				}
+			}
+			if tier > 0 || r.Intn(4) == 0 {
+				if r.Intn(12) == 0 {
+					dur = 0 // a hop the run ended before delivering
+				}
+				t.Path.Root.Add(mkHop(tier, dur, timeouts))
+			}
+			t.Path.Root.Add(mkExec(tier, cpi, npc))
+		}
+		return t
+	}
+
+	var clean []*distributed.Trace
+	for i := 0; i < 20+r.Intn(20); i++ {
+		clean = append(clean, mkTrace(uint64(i), false))
+	}
+	retry := distributed.RetryConfig{
+		Enabled: true, MaxRetries: 3,
+		HopTimeout: 800 * sim.Microsecond,
+		Backoff:    200 * sim.Microsecond,
+		BackoffCap: 1600 * sim.Microsecond,
+	}
+	cfg := causal.Config{}
+	loc := causal.NewLocalizer(causal.NewBaseline(clean), retry, cfg)
+
+	for trial := 0; trial < 30; trial++ {
+		t := mkTrace(uint64(1000+trial), true)
+		got := loc.Localize(t)
+		want := bruteLocalize(clean, retry, t)
+		if len(got) != len(want) {
+			return fmt.Errorf("trial %d: localizer %v, brute force %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("trial %d cause %d: localizer %v, brute force %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	return nil
+}
+
+// bruteLocalize reimplements the localizer's documented rules from
+// scratch: every threshold is recomputed by rescanning the entire clean
+// population at each step, and deduplication goes through an explicit
+// keyed map instead of the sort-and-sweep fast path.
+func bruteLocalize(clean []*distributed.Trace, retry distributed.RetryConfig, t *distributed.Trace) []fault.Cause {
+	const (
+		slowdownHeadroom   = 1.15
+		cpiHeadroom        = 1.15
+		hopHeadroom        = 1.5
+		dropResidualFactor = 3
+	)
+	execMax := func(typ string, tier int) (maxCPI, maxNpc float64, n int) {
+		for _, c := range clean {
+			c.Path.Walk(func(s *obs.CausalNode) {
+				if s.Kind != obs.CausalExec || c.Type != typ || s.Tier != tier {
+					return
+				}
+				n++
+				cpi := float64(s.Cycles) / float64(s.Instructions)
+				npc := float64(s.CPUTime) / float64(s.Cycles)
+				if cpi > maxCPI {
+					maxCPI = cpi
+				}
+				if npc > maxNpc {
+					maxNpc = npc
+				}
+			})
+		}
+		return maxCPI, maxNpc, n
+	}
+	hopStats := func() (mean, max float64) {
+		var sum float64
+		var n int
+		for _, c := range clean {
+			c.Path.Walk(func(s *obs.CausalNode) {
+				if s.Kind != obs.CausalHop || s.Dur <= 0 {
+					return
+				}
+				n++
+				sum += float64(s.Dur)
+				if float64(s.Dur) > max {
+					max = float64(s.Dur)
+				}
+			})
+		}
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		return mean, max
+	}
+	sched := func(k int) float64 {
+		var total float64
+		for i := 0; i < k; i++ {
+			b := retry.Backoff << uint(i)
+			if b > retry.BackoffCap {
+				b = retry.BackoffCap
+			}
+			total += float64(retry.HopTimeout) + float64(b)
+		}
+		return total
+	}
+
+	type key struct {
+		k          fault.Kind
+		node, tier int
+	}
+	best := map[key]float64{}
+	claim := func(k fault.Kind, node, tier int, score float64) {
+		id := key{k, node, tier}
+		if score > best[id] {
+			best[id] = score
+		}
+	}
+	t.Path.Walk(func(s *obs.CausalNode) {
+		switch s.Kind {
+		case obs.CausalExec:
+			maxCPI, maxNpc, n := execMax(t.Type, s.Tier)
+			if n == 0 {
+				return
+			}
+			cpi := float64(s.Cycles) / float64(s.Instructions)
+			npc := float64(s.CPUTime) / float64(s.Cycles)
+			if maxCPI > 0 && cpi/maxCPI > cpiHeadroom {
+				claim(fault.PollutionBurst, s.Node, s.Tier, cpi/maxCPI)
+			}
+			if maxNpc > 0 && npc/maxNpc > slowdownHeadroom {
+				claim(fault.NodeSlowdown, s.Node, s.Tier, npc/maxNpc)
+			}
+		case obs.CausalHop:
+			hopMean, hopMax := hopStats()
+			if s.Dur <= 0 || hopMax <= 0 {
+				return
+			}
+			dur := float64(s.Dur)
+			if s.Timeouts > 0 && dur >= sched(s.Timeouts) {
+				kind := fault.HopDrop
+				if dur-sched(s.Timeouts) > hopMean*dropResidualFactor {
+					kind = fault.HopDelay
+				}
+				claim(kind, s.Node, -1, dur/hopMax)
+				return
+			}
+			if dur/hopMax > hopHeadroom {
+				claim(fault.HopDelay, s.Node, -1, dur/hopMax)
+			}
+		}
+	})
+
+	keys := make([]key, 0, len(best))
+	for id := range best { // maporder:ok sorted immediately below
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.k != b.k {
+			return a.k < b.k
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.tier < b.tier
+	})
+	var out []fault.Cause
+	for _, id := range keys {
+		out = append(out, fault.Cause{Kind: id.k, Node: id.node, Tier: id.tier, Score: best[id]})
+	}
+	return out
+}

@@ -55,6 +55,7 @@ func TestDifferentialNamesAreStable(t *testing.T) {
 		"signature/service-vs-naive":     true,
 		"pastrequests/ring-vs-recompute": true,
 		"fault/evaluate-vs-bruteforce":   true,
+		"causal/localizer-vs-bruteforce": true,
 	}
 	got := Differentials()
 	if len(got) < len(want) {
