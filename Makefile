@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet maporder build test test-dist test-procs bench bench-json bench-smoke faults localize verify verify-full golden golden-full cover fuzz
+.PHONY: check vet maporder build test test-dist test-procs bench bench-json bench-smoke faults localize hypotheses verify verify-full golden golden-full cover fuzz
 
 check: vet maporder build test test-dist bench
 
@@ -40,9 +40,12 @@ test-dist:
 # assumptions that parallel runs mask, and vice versa.
 # -count=1 defeats the test cache: GOMAXPROCS is read by the runtime, not
 # the test binary, so cached results would silently satisfy both legs.
+# -timeout 20m: the experiments package fans out whole simulator runs per
+# test (the schedlab policy race most of all); serialized under -race at
+# GOMAXPROCS=1 the suite legitimately outgrows go test's 10m default.
 test-procs:
-	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/distributed/... ./internal/experiments/...
-	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/distributed/... ./internal/experiments/...
+	GOMAXPROCS=1 $(GO) test -race -count=1 -timeout 20m ./internal/distributed/... ./internal/experiments/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 -timeout 20m ./internal/distributed/... ./internal/experiments/...
 
 # faults is the fault-injection smoke: a tiny labeled schedule through the
 # full faultanomaly pipeline — injection, retries/hedging on vs off, and
@@ -55,6 +58,13 @@ faults:
 # fault-kind) precision/recall/F1 report against ground truth.
 localize:
 	$(GO) run ./cmd/rbvrepro -scale 0.05 -run faultlocalize
+
+# hypotheses is the hypothesis-lab gate: every hypotheses/*/FINDINGS.md
+# must state its claim/seeds/result and pin the experiment cell its numbers
+# came from; the tool re-runs each pinned cell (cheap smoke-scale cells)
+# and fails on fingerprint drift, so findings cannot quietly go stale.
+hypotheses:
+	$(GO) run ./cmd/hypotheses
 
 # verify re-runs the deterministic verification sweep (every registry
 # experiment across the seed x scale x GOMAXPROCS grid) and diffs the

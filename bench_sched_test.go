@@ -1,0 +1,48 @@
+// Benchmark for the scheduling-policy lab (experiment 21): one op races
+// every registered kernel policy across both load levels and every fleet
+// placement policy over the shared stream, from one shared calibration.
+// ns/op is the wall cost of the whole race; each policy's flash-crowd
+// latency tail lands in the snapshot as a per-policy "-p99-ns" metric, so
+// cmd/benchjson guards a policy-specific latency regression (a broken
+// deadline comparator, a co-scheduling bank lookup gone quadratic) even
+// when the aggregate wall time stays inside tolerance.
+//
+// Run with:
+//
+//	go test -bench BenchmarkSchedLab -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchSchedCfg runs the lab at smoke scale: the race fans out
+// (policies × loads) full simulator runs per op, so the per-cell request
+// count stays small to keep the single-iteration CI legs quick.
+var benchSchedCfg = experiments.Config{Seed: 1, Scale: 0.05}
+
+func BenchmarkSchedLab(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SchedLab(benchSchedCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Kernel {
+			if row.Load != "crowd" {
+				continue
+			}
+			b.ReportMetric(row.LatencyP99Ns, row.Policy+"-p99-ns")
+		}
+		for _, row := range r.Fleet {
+			b.ReportMetric(row.P99Ns, "fleet-"+row.Policy+"-p99-ns")
+			if row.Completed == 0 {
+				b.Fatalf("fleet policy %s completed nothing", row.Policy)
+			}
+		}
+		if len(r.Kernel) == 0 || r.BankEntries == 0 {
+			b.Fatalf("lab inert: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command hypotheses validates the hypothesis lab (the hypotheses/
+// directory): every hypotheses/*/FINDINGS.md must state its claim, the
+// seeds it ran, and its result, and must pin the experiment cell its
+// numbers came from (experiment, seed, scale, output fingerprint). The
+// tool re-runs each pinned cell and fails when the live fingerprint no
+// longer matches the recorded one — a finding whose numbers the current
+// code cannot reproduce is stale, and CI should say so before a reader
+// trusts it.
+//
+// Usage:
+//
+//	hypotheses [-dir hypotheses] [-run=false]
+//
+// -run=false skips the re-runs and checks document structure only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/verify"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// requiredSections are the headings every FINDINGS.md must fill in.
+var requiredSections = []string{"Claim", "Seeds", "Result", "Pinned cell"}
+
+// pin is the machine-readable cell a finding's numbers came from.
+type pin struct {
+	Experiment  string
+	Seed        int64
+	Scale       float64
+	Fingerprint string
+}
+
+// run is the testable entry point: structural and flag errors exit 2,
+// reproduction failures exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hypotheses", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "hypotheses", "hypothesis lab directory")
+	rerun := fs.Bool("run", true, "re-run each pinned cell and check its fingerprint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	files, err := filepath.Glob(filepath.Join(*dir, "*", "FINDINGS.md"))
+	if err != nil {
+		fmt.Fprintf(stderr, "hypotheses: %v\n", err)
+		return 2
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		fmt.Fprintf(stderr, "hypotheses: no %s/*/FINDINGS.md found\n", *dir)
+		return 2
+	}
+
+	failed := 0
+	for _, f := range files {
+		if err := checkFindings(f, *rerun); err != nil {
+			fmt.Fprintf(stderr, "FAIL %s: %v\n", f, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "ok   %s\n", f)
+	}
+	fmt.Fprintf(stdout, "hypotheses: %d/%d findings reproduced\n", len(files)-failed, len(files))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkFindings validates one FINDINGS.md and, when rerun is set,
+// reproduces its pinned cell.
+func checkFindings(path string, rerun bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	secs := sections(string(raw))
+	for _, name := range requiredSections {
+		if strings.TrimSpace(secs[name]) == "" {
+			return fmt.Errorf("missing or empty section %q", "## "+name)
+		}
+	}
+	p, err := parsePin(secs["Pinned cell"])
+	if err != nil {
+		return err
+	}
+	if _, ok := experiments.Lookup(p.Experiment); !ok {
+		return fmt.Errorf("pinned experiment %q is not in the registry (valid: %s)",
+			p.Experiment, strings.Join(experiments.Names(), ","))
+	}
+	if !rerun {
+		return nil
+	}
+	e, _ := experiments.Lookup(p.Experiment)
+	res, err := e.Run(experiments.Config{Seed: p.Seed, Scale: p.Scale})
+	if err != nil {
+		return fmt.Errorf("re-running %s seed=%d scale=%g: %w", p.Experiment, p.Seed, p.Scale, err)
+	}
+	lines, err := verify.Canonicalize(res)
+	if err != nil {
+		return err
+	}
+	if got := verify.FingerprintLines(lines); got != p.Fingerprint {
+		return fmt.Errorf("%s seed=%d scale=%g reproduces fingerprint %s, finding pinned %s — the numbers in this finding are stale",
+			p.Experiment, p.Seed, p.Scale, got, p.Fingerprint)
+	}
+	return nil
+}
+
+// sections splits a markdown document into "## Heading" → body.
+func sections(doc string) map[string]string {
+	out := map[string]string{}
+	var name string
+	var body strings.Builder
+	flush := func() {
+		if name != "" {
+			out[name] = body.String()
+		}
+		body.Reset()
+	}
+	for _, line := range strings.Split(doc, "\n") {
+		if h, ok := strings.CutPrefix(line, "## "); ok {
+			flush()
+			name = strings.TrimSpace(h)
+			continue
+		}
+		body.WriteString(line)
+		body.WriteString("\n")
+	}
+	flush()
+	return out
+}
+
+// parsePin extracts the pinned-cell fields from the section body. Lines
+// look like "- experiment: schedlab" (the leading "- " is optional).
+func parsePin(body string) (pin, error) {
+	var p pin
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "- "))
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		var err error
+		switch strings.TrimSpace(k) {
+		case "experiment":
+			p.Experiment = v
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "scale":
+			p.Scale, err = strconv.ParseFloat(v, 64)
+		case "fingerprint":
+			p.Fingerprint = v
+		}
+		if err != nil {
+			return p, fmt.Errorf("pinned cell: bad %s %q: %v", strings.TrimSpace(k), v, err)
+		}
+	}
+	switch {
+	case p.Experiment == "":
+		return p, fmt.Errorf("pinned cell: missing experiment")
+	case p.Seed == 0:
+		return p, fmt.Errorf("pinned cell: missing seed")
+	case p.Scale <= 0:
+		return p, fmt.Errorf("pinned cell: missing scale")
+	case p.Fingerprint == "":
+		return p, fmt.Errorf("pinned cell: missing fingerprint")
+	}
+	return p, nil
+}

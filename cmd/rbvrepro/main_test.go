@@ -16,7 +16,7 @@ func TestSelectExperimentsDefaultIsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 20 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "faultlocalize" {
+	if len(sel) != 21 || sel[0].Name() != "fig1" || sel[len(sel)-1].Name() != "schedlab" {
 		t.Fatalf("default selection wrong: %d experiments", len(sel))
 	}
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rbvserve [-seed N] [-requests N] [-spec STREAM] [-workers N] [-trace]
-//	rbvserve -topology FLEET [-policy rr|ease] [-seed N] [-requests N] [-spec STREAM] [-workers N]
+//	rbvserve -topology FLEET [-policy NAME] [-seed N] [-requests N] [-spec STREAM] [-workers N]
 //
 // The run processes -requests arrivals (whole ticks, then a drain), prints
 // the engine's deterministic result table, and appends the identify-path
@@ -27,8 +27,10 @@
 //
 //	rbvserve -topology "pkg=2,2/pkg=4:0.85/pkg=4:1.15:8,4:1.15:8" -policy ease
 //
-// -policy picks the placement policy: "rr" (round-robin, the default) or
-// "ease" (fleet-wide contention easing). Fleet results are bit-identical
+// -policy picks the placement policy from the serve package's registry by
+// canonical name or alias: "round-robin" ("rr", the default), "contention-
+// easing" ("ease"), or "scale-out" ("scale", reactive node activation from
+// the queued-high saturation signal). Fleet results are bit-identical
 // across repeats and -workers settings.
 package main
 
@@ -61,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "goroutines driving the shard phase (0 = GOMAXPROCS; never changes results)")
 	traceOut := fs.Bool("trace", false, "print the observability counter summary after the run")
 	topoSpec := fs.String("topology", "", "fleet mode: \"/\"-separated node topologies (see machine.ParseFleet)")
-	policy := fs.String("policy", "rr", "fleet placement policy: rr (round-robin) or ease (contention easing)")
+	policy := fs.String("policy", "rr", "fleet placement policy: "+strings.Join(serve.FleetPolicyNames(), ", ")+" (aliases: rr, ease, scale)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -133,15 +135,12 @@ func runFleet(topoSpec, policy string, seed int64, requests int, spec string, wo
 	cfg := serve.DefaultFleetConfig(seed)
 	cfg.Nodes = nodes
 	cfg.Workers = workers
-	switch policy {
-	case "rr":
-		cfg.Policy = serve.FleetRoundRobin
-	case "ease":
-		cfg.Policy = serve.FleetContentionEase
-	default:
-		fmt.Fprintf(stderr, "rbvserve: unknown -policy %q (valid: rr, ease)\n", policy)
+	pol, err := serve.ParseFleetPolicy(policy)
+	if err != nil {
+		fmt.Fprintf(stderr, "rbvserve: %v\n", err)
 		return 2
 	}
+	cfg.Policy = pol
 	if spec != "" {
 		sc, err := workload.ParseStream(spec)
 		if err != nil {

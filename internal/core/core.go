@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/sched"
+	"repro/internal/signature"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -102,6 +103,14 @@ type Options struct {
 	Sampling sampling.Config
 	// Policy selects the scheduler.
 	Policy PolicyKind
+	// PolicyName selects the scheduler from the sched package's policy
+	// registry by name (see sched.PolicyNames); when non-empty it wins over
+	// Policy. Registered adaptive policies need UsageThreshold, and the
+	// signature-driven ones (cluster-cosched, deadline) need SignatureBank.
+	PolicyName string
+	// SignatureBank is the application's signature bank, handed to
+	// registered policies that predict request properties online.
+	SignatureBank *signature.Bank
 	// UsageThreshold is the contention-easing high-usage threshold
 	// (required for PolicyContentionEasing; see sched.HighUsageThreshold).
 	UsageThreshold float64
@@ -174,7 +183,11 @@ func (o *Options) validate() error {
 	default:
 		return fmt.Errorf("%w %d", ErrUnknownPolicy, o.Policy)
 	}
-	if o.Policy != PolicyRoundRobin && o.UsageThreshold <= 0 {
+	if o.PolicyName != "" {
+		if _, ok := sched.LookupPolicy(o.PolicyName); !ok {
+			return fmt.Errorf("%w %q (valid: %v)", ErrUnknownPolicy, o.PolicyName, sched.PolicyNames())
+		}
+	} else if o.Policy != PolicyRoundRobin && o.UsageThreshold <= 0 {
 		return fmt.Errorf("%w by policy %v, got %g", ErrBadThreshold, o.Policy, o.UsageThreshold)
 	}
 	if o.MeterCoExecution && o.UsageThreshold <= 0 {
@@ -273,7 +286,25 @@ func Run(opts Options, extra ...Option) (*Result, error) {
 	tk.SetObserver(col)
 
 	res := &Result{}
-	if opts.Policy != PolicyRoundRobin {
+	switch {
+	case opts.PolicyName != "":
+		// Registry path: build the named policy from a shared context, so
+		// every caller (experiments, differentials, CLIs) constructs the
+		// same policy from the same name. Factory errors (missing threshold
+		// or bank) surface before any simulation runs.
+		pol, err := sched.NewPolicy(opts.PolicyName, &sched.PolicyContext{
+			Tracker:   tk,
+			Threshold: opts.UsageThreshold,
+			Bank:      opts.SignatureBank,
+		})
+		if err != nil {
+			return nil, err
+		}
+		k.SetPolicy(pol)
+		if ce, ok := pol.(*sched.ContentionEasing); ok {
+			res.PolicyStats = ce
+		}
+	case opts.Policy != PolicyRoundRobin:
 		mon := sched.NewMonitor(tk, 0.6)
 		k.OnRequestDone(func(run *kernel.RequestRun) { mon.Forget(run) })
 		switch opts.Policy {

@@ -63,6 +63,7 @@ func Registry() []Experiment {
 		def("serve", Serve),
 		def("fleet", Fleet),
 		def("faultlocalize", FaultLocalize),
+		def("schedlab", SchedLab),
 	}
 }
 

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "ablations", "faultanomaly", "serve", "fleet",
-		"faultlocalize",
+		"faultlocalize", "schedlab",
 	}
 	got := Names()
 	if strings.Join(got, ",") != strings.Join(want, ",") {

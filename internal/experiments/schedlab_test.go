@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+func TestSchedLabReport(t *testing.T) {
+	r, err := SchedLab(Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Kernel) != len(sched.PolicyNames())*len(schedLabLoads) {
+		t.Fatalf("kernel race has %d rows, want %d policies × %d loads",
+			len(r.Kernel), len(sched.PolicyNames()), len(schedLabLoads))
+	}
+	if len(r.Fleet) != len(serve.FleetPolicies()) {
+		t.Fatalf("fleet race has %d rows, want %d", len(r.Fleet), len(serve.FleetPolicies()))
+	}
+	if r.Threshold <= 0 || r.BankEntries == 0 {
+		t.Fatalf("degenerate calibration: threshold %v, bank %d", r.Threshold, r.BankEntries)
+	}
+	for _, row := range r.Kernel {
+		if row.CPIMean <= 0 || row.CPIP99 < row.CPIMean {
+			t.Fatalf("%s/%s: degenerate CPI summary %+v", row.Policy, row.Load, row)
+		}
+		if row.LatencyP99Ns <= 0 || row.WallNs <= 0 || row.ContextSwitches == 0 {
+			t.Fatalf("%s/%s: degenerate run stats %+v", row.Policy, row.Load, row)
+		}
+	}
+	// The crowd load must actually be heavier than steady state.
+	var steady, crowd float64
+	for _, row := range r.Kernel {
+		if row.Policy != "round-robin" {
+			continue
+		}
+		if row.Load == "steady" {
+			steady = row.LatencyP99Ns
+		} else {
+			crowd = row.LatencyP99Ns
+		}
+	}
+	if crowd <= steady {
+		t.Fatalf("crowd p99 %.0f not above steady %.0f", crowd, steady)
+	}
+	for _, row := range r.Fleet {
+		if row.Completed == 0 || row.CPI <= 0 || row.P99Ns <= 0 {
+			t.Fatalf("fleet %s: degenerate row %+v", row.Policy, row)
+		}
+	}
+	out := r.String()
+	for _, want := range append(append([]string{}, sched.PolicyNames()...),
+		"steady", "crowd", "CPI p99", "active/ups/downs", "scale-out") {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSchedLabSeedFingerprint pins the seed-determinism contract the golden
+// tiers rely on: the rendered report's hash is identical across repeats and
+// across GOMAXPROCS 1 and 4. The race's 150-request floor makes every run
+// cost the same regardless of scale, so the matrix is kept lean — the full
+// procs sweep at seed 1 plus a repeat check at a second seed; the golden
+// corpus's schedlab procs cells re-prove procs-invariance on every
+// `make verify`.
+func TestSchedLabSeedFingerprint(t *testing.T) {
+	fingerprint := func(seed int64) string {
+		r, err := SchedLab(Config{Seed: seed, Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%x", sha256.Sum256([]byte(r.String())))
+	}
+	want := fingerprint(1)
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		got := fingerprint(1)
+		runtime.GOMAXPROCS(prev)
+		if got != want {
+			t.Fatalf("seed 1: fingerprint diverged at GOMAXPROCS %d", procs)
+		}
+	}
+	if fingerprint(5) != fingerprint(5) {
+		t.Fatal("seed 5: fingerprint diverged across repeats")
+	}
+}

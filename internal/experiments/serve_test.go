@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The serve and fleet experiments are pinned continuously by the golden
+// tiers; these smoke tests keep their report paths covered at unit-test
+// speed and assert the shapes the docs quote.
+
+func TestServeReport(t *testing.T) {
+	r, err := Serve(Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests <= 0 || r.Run.Completed == 0 {
+		t.Fatalf("degenerate run: %+v", r.Run)
+	}
+	// The scaled burst windows must still exercise admission control.
+	if r.Run.Degraded == 0 {
+		t.Fatal("burst windows produced no degraded requests")
+	}
+	out := r.String()
+	for _, want := range []string{"service mode:", r.Spec} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetReport(t *testing.T) {
+	r, err := Fleet(Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RR.Completed == 0 || r.Eased.Completed == 0 {
+		t.Fatalf("degenerate fleet runs: rr %+v, eased %+v", r.RR, r.Eased)
+	}
+	if len(r.RR.Nodes) != len(r.Eased.Nodes) || len(r.RR.Nodes) == 0 {
+		t.Fatalf("per-node results missing: %d vs %d", len(r.RR.Nodes), len(r.Eased.Nodes))
+	}
+	out := r.String()
+	for _, want := range []string{"fleet service mode:", "fleet topology:", "contention easing vs round-robin:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

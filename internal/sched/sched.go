@@ -153,6 +153,14 @@ func (p *ContentionEasing) Pick(k *kernel.Kernel, core int, cands []*kernel.Thre
 	// Step 2: pick the request closest to the head that is not in a high
 	// resource usage period. The current thread sits at index 0 when
 	// curIncluded, honoring "keep the current request at the head".
+	return p.pickEased(cands)
+}
+
+// pickEased scans the candidates in queue order for the first one not in a
+// high-usage period, giving up to the head when none exists. Split out so
+// the tie-break order (lowest index wins, never map order) is unit-testable
+// without simulated co-runners.
+func (p *ContentionEasing) pickEased(cands []*kernel.Thread) int {
 	for i, t := range cands {
 		if !p.high(t) {
 			if i > 0 {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/sampling"
+	"repro/internal/signature"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -239,5 +240,90 @@ func TestTopologyAwarePickSemantics(t *testing.T) {
 	pol.RescheduleInterval = 0
 	if pol.Quantum(nil) != 5*sim.Millisecond {
 		t.Fatal("zero interval should fall back")
+	}
+}
+
+// TestSignatureSessionsLiveStream drives the cluster co-scheduling stack
+// end to end on a live kernel run: sessions fed from the tracker's period
+// stream must identify in-flight requests against a calibration bank,
+// identification must yield positive CPU predictions, and all session
+// state must drain when the run completes.
+func TestSignatureSessionsLiveStream(t *testing.T) {
+	base, _, _ := tpchRun(t, 24, false, 0.004)
+	threshold := HighUsageThreshold(base.Store(), 80)
+	bank := signature.BuildCompact(base.Store().Traces, metrics.L2RefsPerIns, 2e6, 0, 4, 1)
+	if len(bank.Entries) == 0 {
+		t.Fatal("empty calibration bank")
+	}
+
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig())
+	tk := sampling.NewTracker(k, sampling.Config{
+		Mode: sampling.Interrupt, Period: sim.Millisecond, Compensate: true,
+	})
+	mon := NewMonitor(tk, 0.6)
+	sessions := NewSignatureSessions(tk, bank)
+	pol := NewClusterCoSched(mon, sessions, threshold)
+	k.SetPolicy(pol)
+
+	// Observe identification on the live stream (the sessions' own
+	// subscription runs first, so state is current when this callback sees
+	// the period).
+	var identified, predicted bool
+	tk.OnPeriod(func(run *kernel.RequestRun, _ *trace.Request, _ sim.Time, _ metrics.Counters) {
+		cl := sessions.Cluster(run)
+		if cl < 0 {
+			return
+		}
+		identified = true
+		if cl >= len(bank.Entries) {
+			t.Errorf("cluster %d out of range [0,%d)", cl, len(bank.Entries))
+		}
+		if sessions.PredictedCPUNs(run) > 0 {
+			predicted = true
+		}
+	})
+	const requests = 24
+	d := kernel.NewDriver(k, kernel.LoadConfig{
+		App: workload.NewTPCH(), Concurrency: 8, Requests: requests, Seed: 21,
+	})
+	d.Start()
+	eng.RunAll()
+	if d.Completed() != requests {
+		t.Fatalf("completed %d/%d", d.Completed(), requests)
+	}
+	if !identified {
+		t.Fatal("no in-flight request was ever identified against the bank")
+	}
+	if !predicted {
+		t.Fatal("identification never yielded a positive CPU prediction")
+	}
+	if sessions.Tracked() != 0 {
+		t.Fatalf("sessions leaked %d entries after a drained run", sessions.Tracked())
+	}
+	if pol.Stats.Opportunities == 0 {
+		t.Fatal("policy saw no scheduling opportunities at concurrency 8")
+	}
+}
+
+// TestQuantumFallbacks pins the new policies' reschedule intervals and
+// their zero-interval fallbacks (ContentionEasing's is covered by
+// TestQuantumDefault).
+func TestQuantumFallbacks(t *testing.T) {
+	cluster := NewClusterCoSched(nil, nil, 1)
+	if cluster.Quantum(nil) != 5*sim.Millisecond {
+		t.Fatalf("cluster default quantum = %v, want 5ms", cluster.Quantum(nil))
+	}
+	cluster.RescheduleInterval = 0
+	if cluster.Quantum(nil) != 5*sim.Millisecond {
+		t.Fatal("cluster zero interval should fall back to 5ms")
+	}
+	deadline := NewDeadlineOrdered(nil)
+	if deadline.Quantum(nil) != sim.Millisecond {
+		t.Fatalf("deadline default quantum = %v, want 1ms", deadline.Quantum(nil))
+	}
+	deadline.RescheduleInterval = 0
+	if deadline.Quantum(nil) != sim.Millisecond {
+		t.Fatal("deadline zero interval should fall back to 1ms")
 	}
 }

@@ -82,6 +82,14 @@ func (p *TopologyAware) Pick(k *kernel.Kernel, core int, cands []*kernel.Thread,
 	if !localHigh && !globalPressure {
 		return 0
 	}
+	return p.pickLow(localHigh, cands)
+}
+
+// pickLow scans the candidates in queue order for the first low-usage
+// request (threadless candidates are skipped, never preferred), giving up
+// to the head when none exists. Split out so the tie-break order is
+// unit-testable without simulated co-runners.
+func (p *TopologyAware) pickLow(localHigh bool, cands []*kernel.Thread) int {
 	for i, t := range cands {
 		if t == nil || t.Run == nil {
 			continue

@@ -46,6 +46,11 @@ const (
 	// fleet package with the least queued high-usage pressure, easing
 	// shared-cache contention (the paper's Section 5.2 policy, fleet-wide).
 	FleetContentionEase
+	// FleetScaleOut starts with one active node and reactively grows or
+	// shrinks the active set from a saturation signal — the per-package
+	// count of queued predicted-high requests. Placement within the active
+	// set follows FleetContentionEase.
+	FleetScaleOut
 )
 
 func (p FleetPolicy) String() string {
@@ -54,6 +59,8 @@ func (p FleetPolicy) String() string {
 		return "round-robin"
 	case FleetContentionEase:
 		return "contention-easing"
+	case FleetScaleOut:
+		return "scale-out"
 	default:
 		return fmt.Sprintf("FleetPolicy(%d)", int(p))
 	}
@@ -104,6 +111,18 @@ type FleetConfig struct {
 	// ScoreSampleEvery identifies every Nth completed request against the
 	// node bank for anomaly flagging (1 = every request).
 	ScoreSampleEvery int
+
+	// ScaleHighWater, ScaleLowWater, and ScaleCooldownTicks tune the
+	// FleetScaleOut policy (ignored otherwise). A package counts saturated
+	// when its queued predicted-high requests per core reach ScaleHighWater;
+	// the fleet activates another node when at least half its active
+	// packages are saturated, and deactivates its newest node when the
+	// fleet-wide queued-high count per active core falls to ScaleLowWater
+	// and that node has drained. ScaleCooldownTicks separates consecutive
+	// scaling actions. Zero values take the defaults (2, 0.25, 25).
+	ScaleHighWater     float64
+	ScaleLowWater      float64
+	ScaleCooldownTicks int
 
 	// Workers bounds the goroutines of the parallel package phase; ≤0
 	// means GOMAXPROCS. Changes wall-clock time only, never results.
@@ -166,6 +185,9 @@ func DefaultFleetConfig(seed int64) FleetConfig {
 		CalibrationQuantile: 0.99,
 		CalibrationHeadroom: 1.5,
 		ScoreSampleEvery:    8,
+		ScaleHighWater:      2,
+		ScaleLowWater:       0.25,
+		ScaleCooldownTicks:  25,
 	}
 }
 
@@ -183,9 +205,22 @@ func (c FleetConfig) normalize() (FleetConfig, error) {
 		}
 	}
 	switch c.Policy {
-	case FleetRoundRobin, FleetContentionEase:
+	case FleetRoundRobin, FleetContentionEase, FleetScaleOut:
 	default:
 		return c, fmt.Errorf("serve: FleetConfig.Policy unknown: %d", c.Policy)
+	}
+	if c.ScaleHighWater <= 0 {
+		c.ScaleHighWater = 2
+	}
+	if c.ScaleLowWater <= 0 {
+		c.ScaleLowWater = 0.25
+	}
+	if c.ScaleCooldownTicks <= 0 {
+		c.ScaleCooldownTicks = 25
+	}
+	if c.ScaleLowWater >= c.ScaleHighWater {
+		return c, fmt.Errorf("serve: FleetConfig.ScaleLowWater %g must be below ScaleHighWater %g",
+			c.ScaleLowWater, c.ScaleHighWater)
 	}
 	if c.TickNs <= 0 {
 		return c, fmt.Errorf("serve: FleetConfig.TickNs must be positive, got %d", c.TickNs)
@@ -340,6 +375,13 @@ type Fleet struct {
 	tick        uint64
 	nowNs       int64
 
+	// active is the number of routable nodes (a prefix of nodes, in config
+	// order). Non-scale-out policies route across the whole fleet; the
+	// scale-out policy starts at one node and adjusts serially at ingest
+	// tick starts, so scaling decisions are deterministic.
+	active   int
+	cooldown int // ticks until the next scaling action is allowed
+
 	res FleetResult
 
 	// Merge scratch: concatenated node-bank patterns and their records.
@@ -458,6 +500,10 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	f.fleetHist = obs.NewHistogram("fleet.latency.ns")
 	f.res.Policy = cfg.Policy.String()
+	f.active = len(f.nodes)
+	if cfg.Policy == FleetScaleOut {
+		f.active = 1
+	}
 
 	// Merge scratch sized to the concatenation of every node's bank.
 	mcap := len(f.nodes) * cfg.BankK
@@ -567,6 +613,9 @@ func (f *Fleet) runTick(ingest bool) int {
 	tickEnd := f.nowNs + f.cfg.TickNs
 	var arrivals int
 	if ingest {
+		if f.cfg.Policy == FleetScaleOut {
+			f.updateScale()
+		}
 		arrivals = f.ingest(tickEnd)
 	}
 	f.snapshotRates()
@@ -675,13 +724,66 @@ func (f *Fleet) pkgOf(node, core int) int {
 	return nd.pkgs[0]
 }
 
+// updateScale is the scale-out policy's serial control loop, run at the
+// start of every ingesting tick before arrivals route. It counts saturated
+// active packages against the high-water mark to grow the active set, and
+// shrinks from the newest active node when fleet-wide queued-high pressure
+// falls under the low-water mark and that node has drained. At most one
+// action per cooldown window, so the fleet cannot thrash.
+func (f *Fleet) updateScale() {
+	if f.cooldown > 0 {
+		f.cooldown--
+		return
+	}
+	var pkgs, cores, queuedHigh, saturated int
+	for _, pkg := range f.pkgs {
+		if pkg.node >= f.active {
+			continue
+		}
+		pkgs++
+		cores += len(pkg.cores)
+		queuedHigh += pkg.queuedHigh
+		if float64(pkg.queuedHigh) >= f.cfg.ScaleHighWater*float64(len(pkg.cores)) {
+			saturated++
+		}
+	}
+	switch {
+	case 2*saturated >= pkgs && f.active < len(f.nodes):
+		f.active++
+		f.res.ScaleUps++
+		f.cooldown = f.cfg.ScaleCooldownTicks
+	case f.active > 1 &&
+		float64(queuedHigh) <= f.cfg.ScaleLowWater*float64(cores) &&
+		f.nodeIdle(f.active-1):
+		f.active--
+		f.res.ScaleDowns++
+		f.cooldown = f.cfg.ScaleCooldownTicks
+	}
+}
+
+// nodeIdle reports whether every core queue of a node is empty.
+func (f *Fleet) nodeIdle(ni int) bool {
+	nd := f.nodes[ni]
+	for i := range nd.cores {
+		if len(nd.cores[i].q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // place picks the (node, core) for an arrival. All tie-breaks are by lowest
-// index, so placement is deterministic.
+// index, so placement is deterministic. Routing only ever considers the
+// active node prefix — the whole fleet except under scale-out.
 func (f *Fleet) place(r *fleetReq) (node, core int) {
-	if f.cfg.Policy == FleetContentionEase && r.predHigh {
-		// Least high-usage pressure per core across all fleet packages.
+	ease := f.cfg.Policy == FleetContentionEase || f.cfg.Policy == FleetScaleOut
+	if ease && r.predHigh {
+		// Least high-usage pressure per core across the active packages.
 		bestPkg, best := -1, math.Inf(1)
 		for pi, pkg := range f.pkgs {
+			if pkg.node >= f.active {
+				continue
+			}
 			p := float64(pkg.queuedHigh) / float64(len(pkg.cores))
 			if p < best {
 				best, bestPkg = p, pi
@@ -690,10 +792,10 @@ func (f *Fleet) place(r *fleetReq) (node, core int) {
 		pkg := f.pkgs[bestPkg]
 		return pkg.node, shortestCore(f.nodes[pkg.node], pkg.cores)
 	}
-	if f.cfg.Policy == FleetContentionEase {
-		// Low-usage requests fill the shortest queue fleet-wide.
+	if ease {
+		// Low-usage requests fill the shortest active queue.
 		bestNode, bestCore, best := 0, 0, int(^uint(0)>>1)
-		for ni, nd := range f.nodes {
+		for ni, nd := range f.nodes[:f.active] {
 			for ci := range nd.cores {
 				if l := len(nd.cores[ci].q); l < best {
 					best, bestNode, bestCore = l, ni, ci
@@ -702,8 +804,8 @@ func (f *Fleet) place(r *fleetReq) (node, core int) {
 		}
 		return bestNode, bestCore
 	}
-	// Round-robin across nodes, shortest queue within the node.
-	node = int(f.rrSeq % uint64(len(f.nodes)))
+	// Round-robin across active nodes, shortest queue within the node.
+	node = int(f.rrSeq % uint64(f.active))
 	f.rrSeq++
 	nd := f.nodes[node]
 	core = 0
@@ -1103,6 +1205,7 @@ func (f *Fleet) Result() FleetResult {
 		r.CPI = r.Cycles / r.Instructions
 	}
 	r.P99Ns = f.fleetHist.Quantile(0.99)
+	r.ActiveNodes = f.active
 	return r
 }
 
@@ -1166,6 +1269,13 @@ type FleetResult struct {
 	VirtualNs        int64
 	Queued           int
 
+	// ScaleUps and ScaleDowns count scale-out policy actions; ActiveNodes
+	// is the final active-set size (always the full fleet for the other
+	// placement policies).
+	ScaleUps    uint64
+	ScaleDowns  uint64
+	ActiveNodes int
+
 	Nodes []NodeResult
 }
 
@@ -1177,6 +1287,9 @@ func (r FleetResult) String() string {
 	fmt.Fprintf(&b, "  fleet CPI %.4f, p99 %.3fms\n", r.CPI, r.P99Ns/1e6)
 	fmt.Fprintf(&b, "  anomalies: injected %d, flagged %d (hits %d)\n", r.Injected, r.Flagged, r.FlaggedInjected)
 	fmt.Fprintf(&b, "  banks: %d compaction rounds, %d merges\n", r.CompactionRounds, r.Merges)
+	if r.Policy == FleetScaleOut.String() {
+		fmt.Fprintf(&b, "  scale: %d ups, %d downs, %d/%d nodes active\n", r.ScaleUps, r.ScaleDowns, r.ActiveNodes, len(r.Nodes))
+	}
 	for _, n := range r.Nodes {
 		fmt.Fprintf(&b, "  node%d %-28s %2d cores: completed %8d  CPI %.4f  p99 %8.3fms  depth %3d  shed %d  degraded %d  flagged %d\n",
 			n.Node, n.Topology, n.Cores, n.Completed, n.CPI, n.P99Ns/1e6, n.MaxQueueDepth, n.Shed, n.Degraded, n.Flagged)

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FleetPolicyInfo describes one registered fleet placement policy. The
+// registry is an ordered slice, not a map, so listings and error messages
+// render in a stable order.
+type FleetPolicyInfo struct {
+	// Policy is the enum value the fleet engine switches on.
+	Policy FleetPolicy
+	// Name is the canonical flag-facing name (the String() form).
+	Name string
+	// Aliases are accepted spellings beyond the canonical name.
+	Aliases []string
+	// Doc is a one-line description for usage text.
+	Doc string
+}
+
+// fleetPolicies is the registry, in presentation order.
+var fleetPolicies = []FleetPolicyInfo{
+	{
+		Policy:  FleetRoundRobin,
+		Name:    FleetRoundRobin.String(),
+		Aliases: []string{"rr"},
+		Doc:     "cycle arrivals across nodes, shortest core queue within the node",
+	},
+	{
+		Policy:  FleetContentionEase,
+		Name:    FleetContentionEase.String(),
+		Aliases: []string{"ease"},
+		Doc:     "route predicted-high requests to the least-pressured package fleet-wide",
+	},
+	{
+		Policy:  FleetScaleOut,
+		Name:    FleetScaleOut.String(),
+		Aliases: []string{"scale"},
+		Doc:     "grow/shrink the active node set from queued-high saturation; ease within it",
+	},
+}
+
+// FleetPolicies returns the registered fleet policies in stable order. The
+// returned slice is shared; callers must not mutate it.
+func FleetPolicies() []FleetPolicyInfo { return fleetPolicies }
+
+// FleetPolicyNames returns the canonical policy names in registry order.
+func FleetPolicyNames() []string {
+	names := make([]string, len(fleetPolicies))
+	for i, p := range fleetPolicies {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ParseFleetPolicy resolves a canonical name or alias to its policy. The
+// error quotes the unknown name and lists the valid spellings.
+func ParseFleetPolicy(name string) (FleetPolicy, error) {
+	for _, p := range fleetPolicies {
+		if name == p.Name {
+			return p.Policy, nil
+		}
+		for _, a := range p.Aliases {
+			if name == a {
+				return p.Policy, nil
+			}
+		}
+	}
+	var valid []string
+	for _, p := range fleetPolicies {
+		valid = append(valid, p.Name)
+		valid = append(valid, p.Aliases...)
+	}
+	return 0, fmt.Errorf("serve: unknown fleet policy %q (valid: %s)", name, strings.Join(valid, ", "))
+}

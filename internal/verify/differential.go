@@ -36,6 +36,7 @@ func Differentials() []Differential {
 		{Name: "pastrequests/ring-vs-recompute", Check: checkPastRequests},
 		{Name: "fault/evaluate-vs-bruteforce", Check: checkFaultEvaluate},
 		{Name: "causal/localizer-vs-bruteforce", Check: checkCausalLocalize},
+		{Name: "sched/policy-conservation", Check: checkPolicyConservation},
 	}
 }
 

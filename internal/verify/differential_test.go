@@ -56,6 +56,7 @@ func TestDifferentialNamesAreStable(t *testing.T) {
 		"pastrequests/ring-vs-recompute": true,
 		"fault/evaluate-vs-bruteforce":   true,
 		"causal/localizer-vs-bruteforce": true,
+		"sched/policy-conservation":      true,
 	}
 	got := Differentials()
 	if len(got) < len(want) {

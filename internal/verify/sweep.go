@@ -128,14 +128,15 @@ func DefaultGrid() []Cell {
 	// distance engine (fig7), the signature service (fig10), the kernel
 	// exec loop (fig1), the distributed driver (faultanomaly), the
 	// contention-easing run fan-out (fig12), the service-mode shard
-	// workers (serve), the fleet package phase (fleet), and causal-path
-	// localization over the distributed driver (faultlocalize) — the
-	// GOMAXPROCS=1 variant asserts its concurrent simulations aggregate
-	// identically to a serial execution.
+	// workers (serve), the fleet package phase (fleet), causal-path
+	// localization over the distributed driver (faultlocalize), and the
+	// policy-race fan-out (schedlab) — the GOMAXPROCS=1 variant asserts
+	// its concurrent simulations aggregate identically to a serial
+	// execution.
 	procsSubset := map[string]bool{
 		"fig1": true, "fig7": true, "fig10": true, "fig12": true,
 		"faultanomaly": true, "serve": true, "fleet": true,
-		"faultlocalize": true,
+		"faultlocalize": true, "schedlab": true,
 	}
 	// The scheduler comparisons (Figures 12–13) get a wider seed×scale
 	// spread: their full-scale runs are interactive now, and the

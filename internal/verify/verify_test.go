@@ -179,10 +179,10 @@ func TestDefaultGridCoversRegistryAndProcs(t *testing.T) {
 			procs[c.Experiment][c.Procs] = true
 		}
 	}
-	if len(base) != 20 {
-		t.Fatalf("base grid covers %d experiments, want all 20", len(base))
+	if len(base) != 21 {
+		t.Fatalf("base grid covers %d experiments, want all 21", len(base))
 	}
-	for _, name := range []string{"fig1", "fig7", "fig10", "fig12", "faultanomaly", "faultlocalize", "serve", "fleet"} {
+	for _, name := range []string{"fig1", "fig7", "fig10", "fig12", "faultanomaly", "faultlocalize", "serve", "fleet", "schedlab"} {
 		if !procs[name][1] || !procs[name][4] {
 			t.Errorf("%s missing GOMAXPROCS={1,4} variants", name)
 		}
@@ -208,8 +208,8 @@ func TestDefaultGridCoversRegistryAndProcs(t *testing.T) {
 
 func TestFullGridIsOneFullScaleCellPerExperiment(t *testing.T) {
 	grid := FullGrid()
-	if len(grid) != 20 {
-		t.Fatalf("full grid has %d cells, want one per experiment (20)", len(grid))
+	if len(grid) != 21 {
+		t.Fatalf("full grid has %d cells, want one per experiment (21)", len(grid))
 	}
 	for _, c := range grid {
 		if c.Seed != 1 || c.Scale != 1 || c.Procs != 0 {
